@@ -1,0 +1,351 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (run with `go test -bench=. -benchmem`), the ablation benches for the
+// design choices called out in DESIGN.md §6, and microbenchmarks of the
+// hot paths (BURST framing, Pylon publish, TAO queries, the full
+// end-to-end push pipeline).
+package bladerunner
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/brass"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/experiments"
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+	"bladerunner/internal/workload"
+)
+
+// ---- One bench per paper table/figure (DESIGN.md §5) ----
+
+func BenchmarkTable1AreaUpdateDistribution(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = workload.AreaUpdates(rng, workload.Table1Buckets)
+	}
+}
+
+func BenchmarkTable2StreamLifetimes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = workload.StreamLifetime(rng, workload.Table2Buckets)
+	}
+}
+
+func BenchmarkTable3ComponentLatencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table3(int64(i+1), 2000)
+	}
+}
+
+func BenchmarkFigure6PollVsStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure6(int64(i+1), 2000)
+	}
+}
+
+func BenchmarkFigure7SubscriptionActivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure7(int64(i+1), 2000)
+	}
+}
+
+func BenchmarkFigure8DiurnalActivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure8(int64(i + 1))
+	}
+}
+
+func BenchmarkFigure9LatencyCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure9(int64(i+1), 2000)
+	}
+}
+
+func BenchmarkFigure10FailureRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Figure10(int64(i + 1))
+	}
+}
+
+func BenchmarkSwitchoverResourceUsage(b *testing.B) {
+	if testing.Short() {
+		b.Skip("live-stack experiment")
+	}
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Switchover(int64(i + 1))
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §6) ----
+
+func BenchmarkAblationMetadataVsPayload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationMetadataVsPayload(1000, 2, 0.09)
+	}
+}
+
+func BenchmarkAblationSubscriptionDedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationSubscriptionDedup(50, 4)
+	}
+}
+
+func BenchmarkAblationFirstResponder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationFirstResponder(1000)
+	}
+}
+
+func BenchmarkAblationRateLimitOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationRateLimitOrder(1000, 10, 0.2, nil)
+	}
+}
+
+// BenchmarkAblationGenericVsPerApp compares the per-message cost of the
+// abandoned generic configurable filter chain against compiled per-app
+// filter code (the paper's argument for per-application BRASSes).
+func BenchmarkAblationGenericVsPerApp(b *testing.B) {
+	meta := map[string]string{"score": "0.53", "lang": "2", "author": "99"}
+	cfg := experiments.GenericFilterConfig{
+		"min_score":   "0.2",
+		"lang_filter": "on",
+		"viewer_lang": "2",
+		"drop_own":    "on",
+		"viewer":      "7",
+	}
+	b.Run("generic-config-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = experiments.GenericFilter(cfg, meta)
+		}
+	})
+	b.Run("per-app-compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = experiments.PerAppFilter(0.2, "2", "7", meta)
+		}
+	})
+}
+
+// ---- Microbenchmarks of the hot paths ----
+
+func BenchmarkBURSTFrameRoundTrip(b *testing.B) {
+	payload, _ := burst.EncodePayload(burst.Batch{Deltas: []burst.Delta{
+		burst.PayloadDelta(7, bytes.Repeat([]byte("x"), 256)),
+	}})
+	frame := burst.Frame{Type: burst.FrameBatch, SID: 42, Payload: payload}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := burst.WriteFrame(&buf, frame); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := burst.ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchKV() *kvstore.Cluster {
+	nodes := []*kvstore.Node{
+		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
+	}
+	return kvstore.MustNewCluster(nodes, 3)
+}
+
+type benchSink struct{ n int }
+
+func (s *benchSink) ID() string            { return "sink" }
+func (s *benchSink) Deliver(_ pylon.Event) { s.n++ }
+
+func BenchmarkPylonPublish(b *testing.B) {
+	pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
+	sink := &benchSink{}
+	pyl.RegisterHost(sink)
+	if err := pyl.Subscribe("/bench", "sink"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pyl.Publish(pylon.Event{Topic: "/bench", Ref: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPylonSubscribe(b *testing.B) {
+	pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
+	sink := &benchSink{}
+	pyl.RegisterHost(sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pyl.Subscribe(pylon.Topic(fmt.Sprintf("/t/%d", i)), "sink"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTAOPointQuery(b *testing.B) {
+	store := tao.MustNewStore(tao.DefaultConfig(), nil)
+	id := store.ObjectAdd("comment", map[string]string{"text": "hello"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.ObjectGet(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTAORangeQuery quantifies the poll-path cost against the
+// point-query cost above: range queries scale with list size and shard
+// fan-in (paper footnote 5).
+func BenchmarkTAORangeQuery(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("list-%d", size), func(b *testing.B) {
+			store := tao.MustNewStore(tao.DefaultConfig(), nil)
+			base := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+			for i := 0; i < size; i++ {
+				store.AssocAdd(1, "comment", tao.ObjID(i+100),
+					base.Add(time.Duration(i)*time.Second), "")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = store.AssocRange(1, "comment", 0, 20)
+			}
+		})
+	}
+}
+
+func BenchmarkGraphPrivacyCheck(b *testing.B) {
+	g := socialgraph.MustGenerate(socialgraph.Config{
+		Users: 10000, MeanFriends: 50, BlockProb: 0.05, Seed: 1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Blocks(socialgraph.UserID(i%10000+1), socialgraph.UserID((i*7)%10000+1))
+	}
+}
+
+// BenchmarkEndToEndCommentPush measures one comment's full live-stack trip:
+// WAS mutation → TAO write → Pylon publish → BRASS filter+fetch → BURST
+// push → client receive.
+func BenchmarkEndToEndCommentPush(b *testing.B) {
+	pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
+	store := tao.MustNewStore(tao.DefaultConfig(), nil)
+	graph := socialgraph.MustGenerate(socialgraph.Config{Users: 100, MeanFriends: 5, Seed: 1})
+	w := was.New(store, graph, pyl, nil)
+	suite := apps.NewSuite(w)
+
+	host := brass.NewHost(brass.HostConfig{ID: "bench-host", Region: "us"}, pyl, w, nil)
+	defer host.Close()
+	suite.RegisterBRASS(host)
+
+	cliConn, hostConn := net.Pipe()
+	cli := burst.NewClient("bench-device", cliConn, nil)
+	defer cli.Close()
+	host.AcceptSession("bench", hostConn)
+	st, err := cli.Subscribe(burst.Subscribe{Header: burst.Header{
+		burst.HdrApp:          apps.AppFeedComments,
+		burst.HdrSubscription: "feedPostComments(postID: 1)",
+		burst.HdrUser:         "1",
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pyl.Subscribers(apps.PostTopic(1))) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Mutate(2, `postFeedComment(postID: 1, text: "`+strconv.Itoa(i)+`")`); err != nil {
+			b.Fatal(err)
+		}
+		// Wait for the push to arrive at the device.
+		for {
+			batch, ok := <-st.Events
+			if !ok {
+				b.Fatal("stream closed")
+			}
+			done := false
+			for _, d := range batch {
+				if d.Type == burst.DeltaPayload {
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPerStreamInstances compares shared-instance hosting
+// (production Bladerunner) against the one-instance-per-stream variant §7
+// suggests for lower-scale deployments: the isolation costs one goroutine +
+// event loop per stream.
+func BenchmarkAblationPerStreamInstances(b *testing.B) {
+	for _, perStream := range []bool{false, true} {
+		name := "shared-instance"
+		if perStream {
+			name = "per-stream-instance"
+		}
+		b.Run(name, func(b *testing.B) {
+			pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
+			store := tao.MustNewStore(tao.DefaultConfig(), nil)
+			graph := socialgraph.MustGenerate(socialgraph.Config{Users: 100, MeanFriends: 5, Seed: 1})
+			w := was.New(store, graph, pyl, nil)
+			suite := apps.NewSuite(w)
+			host := brass.NewHost(brass.HostConfig{
+				ID: "bench-host", Region: "us", PerStreamInstances: perStream,
+			}, pyl, w, nil)
+			defer host.Close()
+			suite.RegisterBRASS(host)
+			cliConn, hostConn := net.Pipe()
+			cli := burst.NewClient("bench", cliConn, nil)
+			defer cli.Close()
+			host.AcceptSession("bench", hostConn)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := cli.Subscribe(burst.Subscribe{Header: burst.Header{
+					burst.HdrApp:          apps.AppFeedComments,
+					burst.HdrSubscription: fmt.Sprintf("feedPostComments(postID: %d)", i),
+					burst.HdrUser:         "1",
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Cancel("bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(host.InstancesSpun.Value()), "instances")
+		})
+	}
+}

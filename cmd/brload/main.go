@@ -1,0 +1,145 @@
+// Command brload inspects the synthetic workload generators: it prints the
+// sampled distributions (Table 1 area activity, Table 2 stream lifetimes,
+// the diurnal curves) so their calibration can be eyeballed or piped into
+// plotting tools.
+//
+// Usage:
+//
+//	brload -what areas -n 1000000
+//	brload -what lifetimes -n 100000
+//	brload -what diurnal
+//	brload -what graph -n 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/workload"
+)
+
+func main() {
+	what := flag.String("what", "areas", "areas | lifetimes | diurnal | graph")
+	n := flag.Int("n", 1_000_000, "sample count")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	switch *what {
+	case "areas":
+		showAreas(rng, *n)
+	case "lifetimes":
+		showLifetimes(rng, *n)
+	case "diurnal":
+		showDiurnal()
+	case "graph":
+		showGraph(*seed, *n)
+	default:
+		log.Fatalf("brload: unknown -what %q", *what)
+	}
+}
+
+func showAreas(rng *rand.Rand, n int) {
+	var zero, b10, b100, mid, b1M, b100M int
+	var total int64
+	for i := 0; i < n; i++ {
+		u := workload.AreaUpdates(rng, workload.Table1Buckets)
+		total += u
+		switch {
+		case u == 0:
+			zero++
+		case u < 10:
+			b10++
+		case u < 100:
+			b100++
+		case u <= 1_000_000:
+			mid++
+		case u <= 100_000_000:
+			b1M++
+		default:
+			b100M++
+		}
+	}
+	fmt.Printf("areas sampled: %d, total daily updates: %d\n", n, total)
+	p := func(c int) float64 { return 100 * float64(c) / float64(n) }
+	fmt.Printf("  0 updates:        %7.4f%%  (paper: 83%%)\n", p(zero))
+	fmt.Printf("  1-9:              %7.4f%%  (paper: 16%%)\n", p(b10))
+	fmt.Printf("  10-99:            %7.4f%%  (paper: 0.95%%)\n", p(b100))
+	fmt.Printf("  100-1M:           %7.4f%%  (paper: elided)\n", p(mid))
+	fmt.Printf("  1M-100M:          %7.4f%%  (paper: 0.049%%)\n", p(b1M))
+	fmt.Printf("  >100M:            %7.4f%%  (paper: 0.0001%%)\n", p(b100M))
+}
+
+func showLifetimes(rng *rand.Rand, n int) {
+	var b15, b1h, b24, more int
+	for i := 0; i < n; i++ {
+		lt := workload.StreamLifetime(rng, workload.Table2Buckets)
+		switch {
+		case lt < 15*time.Minute:
+			b15++
+		case lt < time.Hour:
+			b1h++
+		case lt < 24*time.Hour:
+			b24++
+		default:
+			more++
+		}
+	}
+	p := func(c int) float64 { return 100 * float64(c) / float64(n) }
+	fmt.Printf("stream lifetimes (n=%d):\n", n)
+	fmt.Printf("  <15min:  %6.2f%%  (paper: 45%%)\n", p(b15))
+	fmt.Printf("  15m-1h:  %6.2f%%  (paper: 26%%)\n", p(b1h))
+	fmt.Printf("  1h-24h:  %6.2f%%  (paper: 25%%)\n", p(b24))
+	fmt.Printf("  24h+:    %6.2f%%  (paper: 4%%)\n", p(more))
+}
+
+func showDiurnal() {
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	fmt.Println("hour, streams/user, subs/min, pubs/min, drops/min(M), reconnects/min(M)")
+	for h := 0; h < 24; h++ {
+		t := day.Add(time.Duration(h) * time.Hour)
+		fmt.Printf("%02d:00, %5.2f, %5.3f, %5.3f, %6.1f, %5.2f\n",
+			h,
+			workload.ActiveStreamsPerUser.At(t),
+			workload.SubscriptionsPerUserMinute.At(t),
+			workload.PublicationsPerUserMinute.At(t),
+			workload.EdgeConnectionDropsPerMinute.At(t)/1e6,
+			workload.ProxyReconnectsPerMinute.At(t)/1e6)
+	}
+}
+
+func showGraph(seed int64, n int) {
+	cfg := socialgraph.DefaultConfig()
+	cfg.Users = n
+	cfg.Seed = seed
+	g, err := socialgraph.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Degrees()
+	fmt.Printf("graph: %d users, degree min/mean/max = %d/%.1f/%d\n",
+		g.NumUsers(), st.Min, st.Mean, st.Max)
+	// Degree histogram (log buckets).
+	buckets := []int{0, 1, 10, 50, 100, 500, 1000}
+	counts := make([]int, len(buckets))
+	for id := socialgraph.UserID(1); id <= socialgraph.UserID(n); id++ {
+		d := len(g.Friends(id))
+		for i := len(buckets) - 1; i >= 0; i-- {
+			if d >= buckets[i] {
+				counts[i]++
+				break
+			}
+		}
+	}
+	for i, b := range buckets {
+		hi := "∞"
+		if i+1 < len(buckets) {
+			hi = fmt.Sprint(buckets[i+1] - 1)
+		}
+		fmt.Printf("  degree %4d-%4s: %d users\n", b, hi, counts[i])
+	}
+}

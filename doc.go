@@ -1,0 +1,7 @@
+// Package bladerunner is a from-scratch reproduction of "Bladerunner:
+// Stream Processing at Scale for a Live View of Backend Data Mutations at
+// the Edge" (SOSP 2021). The implementation lives under internal/ (see
+// DESIGN.md for the system inventory); runnable entry points are under
+// cmd/ and examples/; bench_test.go regenerates every table and figure of
+// the paper's evaluation.
+package bladerunner

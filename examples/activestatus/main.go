@@ -1,0 +1,108 @@
+// ActiveStatus: the online-friends indicator (paper §3.4). One device
+// subscription fans out to one Pylon topic per friend; the BRASS aggregates
+// presence reports into a per-stream map with a TTL and pushes periodic
+// batched diffs, so the device is never flooded.
+//
+// Run with:
+//
+//	go run ./examples/activestatus
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/core"
+	"bladerunner/internal/socialgraph"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Graph.Users = 200
+	cfg.Graph.MeanFriends = 12
+	cluster, err := core.NewCluster(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Demo-scale timers: presence TTL 600ms (paper: 30s), batch flush
+	// every 150ms.
+	cluster.Apps.ActiveStatus.TTL = 600 * time.Millisecond
+	cluster.Apps.ActiveStatus.BatchInterval = 150 * time.Millisecond
+
+	// Pick a user with a few friends.
+	var me socialgraph.UserID
+	for id := socialgraph.UserID(1); id <= 200; id++ {
+		if len(cluster.Graph.Friends(id)) >= 3 {
+			me = id
+			break
+		}
+	}
+	friends := cluster.Graph.Friends(me)[:3]
+	fmt.Printf("user %d subscribes to activeStatus; first friends: %v\n", me, friends)
+
+	device := cluster.NewDevice(me)
+	defer device.Close()
+	if err := device.Connect(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := device.Subscribe(apps.AppActiveStatus, "activeStatus", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One device subscribe produced one Pylon topic per friend:
+	for len(cluster.Pylon.Subscribers(apps.StatusTopic(friends[0]))) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("one stream -> %d Pylon topics (one per friend)\n",
+		len(cluster.Graph.Friends(me)))
+
+	// Two friends come online (their devices report every 30s in prod).
+	for _, f := range friends[:2] {
+		fd := cluster.NewDevice(f)
+		if _, err := fd.Mutate("reportActive"); err != nil {
+			log.Fatal(err)
+		}
+		fd.Close()
+	}
+
+	seen := map[uint64]bool{}
+	deadline := time.After(5 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case delta := <-st.Updates:
+			var p apps.StatusPayload
+			_ = json.Unmarshal(delta.Payload, &p)
+			fmt.Printf("batched push: friend %d online=%v\n", p.User, p.Online)
+			if p.Online {
+				seen[p.User] = true
+			}
+		case <-deadline:
+			log.Fatal("timed out waiting for online statuses")
+		}
+	}
+
+	// No further reports: the TTL expires and the BRASS pushes offline
+	// transitions in a later batch.
+	fmt.Println("friends stop reporting; waiting for TTL expiry...")
+	offline := 0
+	deadline = time.After(5 * time.Second)
+	for offline < 2 {
+		select {
+		case delta := <-st.Updates:
+			var p apps.StatusPayload
+			_ = json.Unmarshal(delta.Payload, &p)
+			if !p.Online {
+				fmt.Printf("batched push: friend %d online=%v (TTL expired)\n", p.User, p.Online)
+				offline++
+			}
+		case <-deadline:
+			log.Fatal("timed out waiting for offline transitions")
+		}
+	}
+	fmt.Println("presence managed entirely by the BRASS: the device only renders diffs")
+}

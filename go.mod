@@ -1,0 +1,3 @@
+module bladerunner
+
+go 1.22

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"bladerunner/internal/brass"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+// ActiveStatus displays which of a user's friends are currently online
+// (paper §3.4). Devices report ONLINE every 30 seconds; the WAS publishes
+// each report to /AS/uid. One device subscription fans out to one Pylon
+// topic per friend. The BRASS keeps a per-stream map of online friends with
+// a TTL and pushes batched updates periodically so devices aren't flooded.
+type ActiveStatus struct {
+	w *was.Server
+
+	// TTL is how long a status report stays fresh (paper: 30 s).
+	TTL time.Duration
+	// BatchInterval is the push cadence.
+	BatchInterval time.Duration
+}
+
+// StatusTopic returns the Pylon topic for one user's presence.
+func StatusTopic(uid socialgraph.UserID) pylon.Topic {
+	return pylon.Topic(fmt.Sprintf("/AS/%d", uid))
+}
+
+// StatusPayload is one friend-status change pushed to devices.
+type StatusPayload struct {
+	User   uint64 `json:"user"`
+	Online bool   `json:"online"`
+}
+
+// NewActiveStatus registers the WAS half and returns the application.
+func NewActiveStatus(w *was.Server) *ActiveStatus {
+	a := &ActiveStatus{w: w, TTL: 30 * time.Second, BatchInterval: 5 * time.Second}
+
+	// Devices call this every 30 s while online.
+	w.RegisterMutation("reportActive", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		ctx.Srv.Publish(pylon.Event{
+			Topic: StatusTopic(ctx.Viewer),
+			Meta: map[string]string{
+				"uid": strconv.FormatUint(uint64(ctx.Viewer), 10),
+				"at":  strconv.FormatInt(ctx.Now.UnixNano(), 10),
+			},
+		}, false)
+		return true, nil
+	})
+
+	// One device subscribe → one topic per friend (many BRASS→Pylon
+	// subscriptions per device subscription).
+	w.RegisterSubscription("activeStatus", func(ctx *was.Ctx, call was.FieldCall) ([]pylon.Topic, error) {
+		friends := ctx.Srv.Graph.Friends(ctx.Viewer)
+		topics := make([]pylon.Topic, len(friends))
+		for i, f := range friends {
+			topics[i] = StatusTopic(f)
+		}
+		return topics, nil
+	})
+
+	w.RegisterPayload(AppActiveStatus, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
+		uid, _ := strconv.ParseUint(ev.Meta["uid"], 10, 64)
+		return StatusPayload{User: uid, Online: true}, nil
+	})
+	return a
+}
+
+// Name implements brass.Application.
+func (a *ActiveStatus) Name() string { return AppActiveStatus }
+
+type asStream struct {
+	online map[uint64]time.Time // friend → last report
+	shown  map[uint64]bool      // what the device currently displays
+	dirty  bool
+	cancel func()
+}
+
+type asInstance struct {
+	app *ActiveStatus
+	rt  *brass.Runtime
+}
+
+// NewInstance implements brass.Application.
+func (a *ActiveStatus) NewInstance(rt *brass.Runtime) brass.AppInstance {
+	return &asInstance{app: a, rt: rt}
+}
+
+func (in *asInstance) OnStreamOpen(st *brass.Stream) error {
+	topics, err := in.rt.ResolveSubscription(st.Viewer, st.Header(burst.HdrSubscription))
+	if err != nil {
+		return err
+	}
+	state := &asStream{
+		online: make(map[uint64]time.Time),
+		shown:  make(map[uint64]bool),
+	}
+	st.State = state
+	for _, t := range topics {
+		if err := st.AddTopic(t); err != nil {
+			return err
+		}
+	}
+	in.scheduleFlush(st, state)
+	return nil
+}
+
+func (in *asInstance) scheduleFlush(st *brass.Stream, state *asStream) {
+	state.cancel = in.rt.After(in.app.BatchInterval, func() {
+		in.flush(st, state)
+		if st.State == state {
+			in.scheduleFlush(st, state)
+		}
+	})
+}
+
+// flush diffs the fresh-online set against what the device shows and pushes
+// one batch with the changes (paper: "periodically pushes a batch update").
+func (in *asInstance) flush(st *brass.Stream, state *asStream) {
+	now := in.rt.Now()
+	var acc brass.BatchAccumulator
+	// Expirations: shown-online friends whose reports went stale.
+	for uid, last := range state.online {
+		if now.Sub(last) > in.app.TTL {
+			delete(state.online, uid)
+			if state.shown[uid] {
+				delete(state.shown, uid)
+				b, _ := json.Marshal(StatusPayload{User: uid, Online: false})
+				acc.Add(burst.PayloadDelta(0, b))
+			}
+		}
+	}
+	// New onlines.
+	for uid := range state.online {
+		if !state.shown[uid] {
+			state.shown[uid] = true
+			b, _ := json.Marshal(StatusPayload{User: uid, Online: true})
+			acc.Add(burst.PayloadDelta(0, b))
+		}
+	}
+	state.dirty = false
+	_ = acc.Flush(st)
+}
+
+func (in *asInstance) OnStreamClose(st *brass.Stream, reason string) {
+	if state, ok := st.State.(*asStream); ok {
+		if state.cancel != nil {
+			state.cancel()
+		}
+		st.State = nil
+	}
+}
+
+func (in *asInstance) OnEvent(ev pylon.Event) {
+	uid, err := strconv.ParseUint(ev.Meta["uid"], 10, 64)
+	if err != nil {
+		return
+	}
+	now := in.rt.Now()
+	for _, st := range in.rt.Instance().StreamsForTopic(ev.Topic) {
+		state, ok := st.State.(*asStream)
+		if !ok {
+			continue
+		}
+		state.online[uid] = now
+		state.dirty = true
+	}
+}
+
+func (in *asInstance) OnAck(st *brass.Stream, seq uint64) {}
+
+var _ brass.Application = (*ActiveStatus)(nil)

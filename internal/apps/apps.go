@@ -1,0 +1,74 @@
+// Package apps contains the Bladerunner applications described in the
+// paper (§3.4 and §4): LiveVideoComments, ActiveStatus, TypingIndicator,
+// Stories, Messenger (reliable delivery), and NewsFeedPostComments.
+//
+// Each application consists of two halves, exactly as in production:
+//
+//   - a WAS half — mutation/query/subscription/payload resolvers registered
+//     with the Web Application Server (internal/was), which writes TAO and
+//     publishes metadata-only update events to Pylon; and
+//   - a BRASS half — a brass.Application whose instances filter, rank,
+//     privacy-check, and rate-limit updates per device stream.
+//
+// The paper stresses that every application is implemented independently in
+// "at most a few hundred lines"; each file in this package honors that
+// shape. RegisterAll wires every application into a WAS and a BRASS host.
+package apps
+
+import (
+	"bladerunner/internal/brass"
+	"bladerunner/internal/was"
+)
+
+// Application names used in subscription headers.
+const (
+	AppLiveComments = "livecomments"
+	AppActiveStatus = "activestatus"
+	AppTyping       = "typing"
+	AppStories      = "stories"
+	AppMessenger    = "messenger"
+	AppFeedComments = "feedcomments"
+)
+
+// HdrLang is the stream header carrying the viewer's language, used by
+// LiveVideoComments' language filter.
+const HdrLang = "lang"
+
+// Suite bundles one instance of every application's shared (WAS-side)
+// state, so multiple BRASS hosts can serve the same applications.
+type Suite struct {
+	LVC          *LiveVideoComments
+	ActiveStatus *ActiveStatus
+	Typing       *TypingIndicator
+	Stories      *Stories
+	Messenger    *Messenger
+	FeedComments *FeedComments
+	Reactions    *LiveVideoReactions
+	Notifs       *WebsiteNotifications
+}
+
+// NewSuite builds all applications and registers their WAS halves.
+func NewSuite(w *was.Server) *Suite {
+	return &Suite{
+		LVC:          NewLiveVideoComments(w),
+		ActiveStatus: NewActiveStatus(w),
+		Typing:       NewTypingIndicator(w),
+		Stories:      NewStories(w),
+		Messenger:    NewMessenger(w),
+		FeedComments: NewFeedComments(w),
+		Reactions:    NewLiveVideoReactions(w),
+		Notifs:       NewWebsiteNotifications(w),
+	}
+}
+
+// RegisterBRASS registers every application's BRASS half on a host.
+func (s *Suite) RegisterBRASS(h *brass.Host) {
+	h.RegisterApp(s.LVC)
+	h.RegisterApp(s.ActiveStatus)
+	h.RegisterApp(s.Typing)
+	h.RegisterApp(s.Stories)
+	h.RegisterApp(s.Messenger)
+	h.RegisterApp(s.FeedComments)
+	h.RegisterApp(s.Reactions)
+	h.RegisterApp(s.Notifs)
+}

@@ -1,0 +1,639 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"bladerunner/internal/brass"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+type env struct {
+	graph *socialgraph.Graph
+	tao   *tao.Store
+	pylon *pylon.Service
+	was   *was.Server
+	suite *Suite
+	host  *brass.Host
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	nodes := []*kvstore.Node{
+		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
+	}
+	pyl := pylon.MustNew(pylon.DefaultConfig(), kvstore.MustNewCluster(nodes, 3))
+	store := tao.MustNewStore(tao.DefaultConfig(), nil)
+	graph := socialgraph.MustGenerate(socialgraph.Config{
+		Users: 200, MeanFriends: 20, BlockProb: 0, Seed: 5,
+	})
+	w := was.New(store, graph, pyl, nil)
+	suite := NewSuite(w)
+	// Fast timers for real-clock tests.
+	suite.LVC.RateLimit = 10 * time.Millisecond
+	suite.LVC.BufferTTL = 10 * time.Second
+	suite.LVC.RankBeforePublish = false // no ranking delay in live tests
+	suite.ActiveStatus.BatchInterval = 10 * time.Millisecond
+	suite.ActiveStatus.TTL = 200 * time.Millisecond
+
+	host := brass.NewHost(brass.HostConfig{ID: "brass-1", Region: "us", StickyRouting: true}, pyl, w, nil)
+	suite.RegisterBRASS(host)
+	t.Cleanup(host.Close)
+	return &env{graph: graph, tao: store, pylon: pyl, was: w, suite: suite, host: host}
+}
+
+func (e *env) dial(t *testing.T) *burst.Client {
+	t.Helper()
+	a, b := net.Pipe()
+	cli := burst.NewClient("device", a, nil)
+	e.host.AcceptSession("sess", b)
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func (e *env) subscribe(t *testing.T, cli *burst.Client, app, sub string, viewer socialgraph.UserID, extra burst.Header) *burst.ClientStream {
+	t.Helper()
+	h := burst.Header{
+		burst.HdrApp:          app,
+		burst.HdrSubscription: sub,
+		burst.HdrUser:         strconv.FormatUint(uint64(viewer), 10),
+	}
+	for k, v := range extra {
+		h[k] = v
+	}
+	st, err := cli.Subscribe(burst.Subscribe{Header: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// recvPayload waits for the next payload delta on st, skipping flow events.
+func recvPayload(t *testing.T, st *burst.ClientStream) burst.Delta {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case batch, ok := <-st.Events:
+			if !ok {
+				t.Fatal("stream closed while awaiting payload")
+			}
+			for _, d := range batch {
+				if d.Type == burst.DeltaPayload {
+					return d
+				}
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for payload")
+		}
+	}
+}
+
+// friendPair returns two users who are friends.
+func friendPair(t *testing.T, g *socialgraph.Graph) (socialgraph.UserID, socialgraph.UserID) {
+	t.Helper()
+	for id := socialgraph.UserID(1); id <= socialgraph.UserID(g.NumUsers()); id++ {
+		if fs := g.Friends(id); len(fs) > 0 {
+			return id, fs[0]
+		}
+	}
+	t.Fatal("no friends in graph")
+	return 0, 0
+}
+
+func TestLVCEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(1)
+	commenter := socialgraph.UserID(2)
+	st := e.subscribe(t, cli, AppLiveComments, "liveVideoComments(videoID: 7)", viewer, nil)
+	waitFor(t, "pylon sub", func() bool { return len(e.pylon.Subscribers(LVCTopic(7))) == 1 })
+
+	if _, err := e.was.Mutate(commenter, `postComment(videoID: 7, text: "great video")`); err != nil {
+		t.Fatal(err)
+	}
+	d := recvPayload(t, st)
+	var p CommentPayload
+	if err := json.Unmarshal(d.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Author != uint64(commenter) || p.Text != "great video" || p.VideoID != 7 {
+		t.Errorf("payload = %+v", p)
+	}
+	// The comment is durable in TAO regardless of push delivery.
+	if got := e.tao.AssocCount(tao.ObjID(7), "video_comment"); got != 1 {
+		t.Errorf("TAO comment count = %d", got)
+	}
+}
+
+func TestLVCFiltersOwnComments(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(3)
+	st := e.subscribe(t, cli, AppLiveComments, "liveVideoComments(videoID: 8)", viewer, nil)
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(LVCTopic(8))) == 1 })
+	if _, err := e.was.Mutate(viewer, `postComment(videoID: 8, text: "my own words")`); err != nil {
+		t.Fatal(err)
+	}
+	e.host.Quiesce()
+	select {
+	case b := <-st.Events:
+		t.Errorf("own comment delivered: %+v", b)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if e.host.Filtered.Value() == 0 {
+		t.Error("own comment not counted as filtered")
+	}
+}
+
+func TestLVCLanguageFilter(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(4)
+	commenter := socialgraph.UserID(5)
+	commenterLang := int(e.graph.User(commenter).Lang)
+	otherLang := strconv.Itoa(commenterLang + 1)
+	st := e.subscribe(t, cli, AppLiveComments, "liveVideoComments(videoID: 9)", viewer,
+		burst.Header{HdrLang: otherLang})
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(LVCTopic(9))) == 1 })
+	if _, err := e.was.Mutate(commenter, `postComment(videoID: 9, text: "hola")`); err != nil {
+		t.Fatal(err)
+	}
+	e.host.Quiesce()
+	select {
+	case b := <-st.Events:
+		t.Errorf("foreign-language comment delivered: %+v", b)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestLVCPrivacyDenialSkipsComment(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(6)
+	blocked := socialgraph.UserID(7)
+	e.graph.Block(viewer, blocked)
+	st := e.subscribe(t, cli, AppLiveComments, "liveVideoComments(videoID: 10)", viewer, nil)
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(LVCTopic(10))) == 1 })
+	if _, err := e.was.Mutate(blocked, `postComment(videoID: 10, text: "you cannot see this")`); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-st.Events:
+		for _, d := range b {
+			if d.Type == burst.DeltaPayload {
+				t.Errorf("blocked author's comment delivered: %s", d.Payload)
+			}
+		}
+	case <-time.After(150 * time.Millisecond):
+	}
+	if e.was.PrivacyDenied.Value() == 0 {
+		t.Error("privacy check never denied")
+	}
+}
+
+func TestLVCRateLimitOnePerInterval(t *testing.T) {
+	e := newEnv(t)
+	e.suite.LVC.RateLimit = 80 * time.Millisecond
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(8)
+	st := e.subscribe(t, cli, AppLiveComments, "liveVideoComments(videoID: 11)", viewer, nil)
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(LVCTopic(11))) == 1 })
+	// Burst of comments from distinct users.
+	for i := 0; i < 10; i++ {
+		commenter := socialgraph.UserID(20 + i)
+		if _, err := e.was.Mutate(commenter,
+			fmt.Sprintf(`postComment(videoID: 11, text: "comment %d")`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// In ~200ms at 80ms/push we expect at most 3-4 deliveries, not 10.
+	received := 0
+	timeout := time.After(220 * time.Millisecond)
+drain:
+	for {
+		select {
+		case batch, ok := <-st.Events:
+			if !ok {
+				break drain
+			}
+			for _, d := range batch {
+				if d.Type == burst.DeltaPayload {
+					received++
+				}
+			}
+		case <-timeout:
+			break drain
+		}
+	}
+	if received == 0 || received > 5 {
+		t.Errorf("received %d pushes in 220ms at 80ms rate limit", received)
+	}
+}
+
+func TestLVCSpamNeverPublished(t *testing.T) {
+	e := newEnv(t)
+	// Find a (user, text) pair scoring below the spam threshold.
+	var spammer socialgraph.UserID
+	var text string
+	for uid := socialgraph.UserID(1); uid <= 100 && spammer == 0; uid++ {
+		for i := 0; i < 50; i++ {
+			cand := fmt.Sprintf("buy now %d", i)
+			if was.QualityScore(e.graph.User(uid), cand) < was.SpamThreshold {
+				spammer, text = uid, cand
+				break
+			}
+		}
+	}
+	if spammer == 0 {
+		t.Skip("no spam-scoring pair found")
+	}
+	before := e.pylon.Publishes.Value()
+	if _, err := e.was.Mutate(spammer, fmt.Sprintf(`postComment(videoID: 12, text: "%s")`, text)); err != nil {
+		t.Fatal(err)
+	}
+	if e.pylon.Publishes.Value() != before {
+		t.Error("spam comment reached Pylon")
+	}
+	// But it is stored in TAO.
+	if got := e.tao.AssocCount(tao.ObjID(12), "video_comment"); got != 1 {
+		t.Errorf("spam not stored: count=%d", got)
+	}
+}
+
+func TestActiveStatusOnlineOffline(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer, friend := friendPair(t, e.graph)
+	st := e.subscribe(t, cli, AppActiveStatus, "activeStatus", viewer, nil)
+	waitFor(t, "friend topic sub", func() bool {
+		return len(e.pylon.Subscribers(StatusTopic(friend))) == 1
+	})
+	if _, err := e.was.Mutate(friend, "reportActive"); err != nil {
+		t.Fatal(err)
+	}
+	d := recvPayload(t, st)
+	var p StatusPayload
+	if err := json.Unmarshal(d.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.User != uint64(friend) || !p.Online {
+		t.Errorf("payload = %+v", p)
+	}
+	// No more reports: after TTL the BRASS pushes offline.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case batch, ok := <-st.Events:
+			if !ok {
+				t.Fatal("stream closed")
+			}
+			for _, dd := range batch {
+				if dd.Type != burst.DeltaPayload {
+					continue
+				}
+				var q StatusPayload
+				if err := json.Unmarshal(dd.Payload, &q); err != nil {
+					t.Fatal(err)
+				}
+				if q.User == uint64(friend) && !q.Online {
+					return // got the offline transition
+				}
+			}
+		case <-deadline:
+			t.Fatal("no offline transition after TTL")
+		}
+	}
+}
+
+func TestActiveStatusBatchesMultipleFriends(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	// Find a viewer with >= 2 friends.
+	var viewer socialgraph.UserID
+	for id := socialgraph.UserID(1); id <= socialgraph.UserID(e.graph.NumUsers()); id++ {
+		if len(e.graph.Friends(id)) >= 2 {
+			viewer = id
+			break
+		}
+	}
+	if viewer == 0 {
+		t.Skip("no viewer with 2 friends")
+	}
+	friends := e.graph.Friends(viewer)[:2]
+	e.subscribe(t, cli, AppActiveStatus, "activeStatus", viewer, nil)
+	waitFor(t, "subs", func() bool {
+		return len(e.pylon.Subscribers(StatusTopic(friends[0]))) == 1 &&
+			len(e.pylon.Subscribers(StatusTopic(friends[1]))) == 1
+	})
+	for _, f := range friends {
+		if _, err := e.was.Mutate(f, "reportActive"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both statuses arrive (possibly in one batch).
+	e.host.Quiesce()
+	waitFor(t, "both online", func() bool { return e.host.Deliveries.Value() >= 2 })
+}
+
+func TestTypingIndicatorImmediatePush(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(9)
+	peer := socialgraph.UserID(10)
+	st := e.subscribe(t, cli, AppTyping, "typingIndicator(threadID: 55, peer: 10)", viewer, nil)
+	waitFor(t, "sub", func() bool {
+		return len(e.pylon.Subscribers(TypingTopic(55, uint64(peer)))) == 1
+	})
+	if _, err := e.was.Mutate(peer, `setTyping(threadID: 55, on: "true")`); err != nil {
+		t.Fatal(err)
+	}
+	d := recvPayload(t, st)
+	var p TypingPayload
+	if err := json.Unmarshal(d.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.User != uint64(peer) || !p.Typing || p.Thread != 55 {
+		t.Errorf("payload = %+v", p)
+	}
+	// Stop typing.
+	if _, err := e.was.Mutate(peer, `setTyping(threadID: 55, on: "false")`); err != nil {
+		t.Fatal(err)
+	}
+	d = recvPayload(t, st)
+	if err := json.Unmarshal(d.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Typing {
+		t.Error("expected typing=false")
+	}
+}
+
+func TestStoriesTrayManagement(t *testing.T) {
+	e := newEnv(t)
+	e.suite.Stories.TraySize = 1 // force displacement
+	cli := e.dial(t)
+	viewer, _ := friendPair(t, e.graph)
+	friends := e.graph.Friends(viewer)
+	if len(friends) < 2 {
+		t.Skip("viewer needs 2 friends")
+	}
+	st := e.subscribe(t, cli, AppStories, "storiesTray", viewer, nil)
+	waitFor(t, "subs", func() bool {
+		return len(e.pylon.Subscribers(StoriesTopic(uint64(friends[0])))) == 1
+	})
+
+	// First friend posts: container added + story delivered.
+	if _, err := e.was.Mutate(friends[0], `postStory(content: "sunset pics")`); err != nil {
+		t.Fatal(err)
+	}
+	sawAdd, sawStory := false, false
+	deadline := time.After(5 * time.Second)
+	for !(sawAdd && sawStory) {
+		select {
+		case batch, ok := <-st.Events:
+			if !ok {
+				t.Fatal("closed")
+			}
+			for _, d := range batch {
+				if d.Type != burst.DeltaPayload {
+					continue
+				}
+				var sd StoryDelta
+				if err := json.Unmarshal(d.Payload, &sd); err != nil {
+					t.Fatal(err)
+				}
+				switch sd.Op {
+				case "container_add":
+					if sd.Author == uint64(friends[0]) {
+						sawAdd = true
+					}
+				case "story_add":
+					if sd.Content == "sunset pics" {
+						sawStory = true
+					}
+				}
+			}
+		case <-deadline:
+			t.Fatalf("tray ops incomplete: add=%v story=%v", sawAdd, sawStory)
+		}
+	}
+
+	// Second friend posts with (presumably) different score; with a tray
+	// of 1, one of the two must eventually be removed if the newcomer
+	// ranks higher. Just assert we see a remove OR a filtered decision.
+	if _, err := e.was.Mutate(friends[1], `postStory(content: "a much better story maybe")`); err != nil {
+		t.Fatal(err)
+	}
+	e.host.Quiesce()
+	waitFor(t, "second decision", func() bool { return e.host.Decisions.Value() >= 2 })
+}
+
+func TestMessengerInOrderDelivery(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	alice, bob := socialgraph.UserID(11), socialgraph.UserID(12)
+	out, err := e.was.Mutate(alice, `createThread(members: "11,12")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tid uint64
+	if err := json.Unmarshal(out, &tid); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.subscribe(t, cli, AppMessenger, "messenger", bob, nil)
+	waitFor(t, "mailbox sub", func() bool {
+		return len(e.pylon.Subscribers(MailboxTopic(bob))) == 1
+	})
+	for i := 1; i <= 3; i++ {
+		if _, err := e.was.Mutate(alice,
+			fmt.Sprintf(`sendMessage(threadID: %d, text: "msg %d")`, tid, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := 1; want <= 3; want++ {
+		d := recvPayload(t, st)
+		var m MessagePayload
+		if err := json.Unmarshal(d.Payload, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != uint64(want) || m.Text != fmt.Sprintf("msg %d", want) {
+			t.Errorf("got seq %d text %q, want seq %d", m.Seq, m.Text, want)
+		}
+	}
+	// Resume token tracked via rewrites.
+	waitFor(t, "resume token", func() bool {
+		return st.Request().Header[burst.HdrResumeSeq] == "3"
+	})
+}
+
+func TestMessengerGapRepair(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	alice, bob := socialgraph.UserID(13), socialgraph.UserID(14)
+	out, _ := e.was.Mutate(alice, `createThread(members: "13,14")`)
+	var tid uint64
+	_ = json.Unmarshal(out, &tid)
+
+	st := e.subscribe(t, cli, AppMessenger, "messenger", bob, nil)
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(MailboxTopic(bob))) == 1 })
+
+	// msg 1 delivered live.
+	_, _ = e.was.Mutate(alice, fmt.Sprintf(`sendMessage(threadID: %d, text: "one")`, tid))
+	d := recvPayload(t, st)
+
+	// Detach the host from Pylon behind its back: msg 2's event is lost
+	// in transit (best-effort delivery failure).
+	_ = e.pylon.Unsubscribe(MailboxTopic(bob), "brass-1")
+	_, _ = e.was.Mutate(alice, fmt.Sprintf(`sendMessage(threadID: %d, text: "two")`, tid))
+	// Reattach and send msg 3: the BRASS sees seq 3 after 1 — a gap — and
+	// repairs from the mailbox.
+	if err := e.pylon.Subscribe(MailboxTopic(bob), "brass-1"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e.was.Mutate(alice, fmt.Sprintf(`sendMessage(threadID: %d, text: "three")`, tid))
+
+	var texts []string
+	for len(texts) < 2 {
+		d = recvPayload(t, st)
+		var m MessagePayload
+		if err := json.Unmarshal(d.Payload, &m); err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, m.Text)
+	}
+	if texts[0] != "two" || texts[1] != "three" {
+		t.Errorf("repaired order = %v, want [two three]", texts)
+	}
+}
+
+func TestMessengerResumeAfterReconnect(t *testing.T) {
+	e := newEnv(t)
+	alice, bob := socialgraph.UserID(15), socialgraph.UserID(16)
+	out, _ := e.was.Mutate(alice, `createThread(members: "15,16")`)
+	var tid uint64
+	_ = json.Unmarshal(out, &tid)
+
+	// First session: receive msg 1, then the device goes dark.
+	cli1 := e.dial(t)
+	st1 := e.subscribe(t, cli1, AppMessenger, "messenger", bob, nil)
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(MailboxTopic(bob))) == 1 })
+	_, _ = e.was.Mutate(alice, fmt.Sprintf(`sendMessage(threadID: %d, text: "before drop")`, tid))
+	recvPayload(t, st1)
+	waitFor(t, "resume-seq 1", func() bool {
+		return st1.Request().Header[burst.HdrResumeSeq] == "1"
+	})
+	saved := st1.Request() // device persists the rewritten request
+	cli1.Close()
+	waitFor(t, "stream closed server-side", func() bool {
+		return len(e.pylon.Subscribers(MailboxTopic(bob))) == 0
+	})
+
+	// Messages sent while disconnected.
+	_, _ = e.was.Mutate(alice, fmt.Sprintf(`sendMessage(threadID: %d, text: "while offline 1")`, tid))
+	_, _ = e.was.Mutate(alice, fmt.Sprintf(`sendMessage(threadID: %d, text: "while offline 2")`, tid))
+
+	// Reconnect with the stored (rewritten) request: catch-up delivers
+	// exactly the missed messages, in order.
+	cli2 := e.dial(t)
+	st2, err := cli2.Subscribe(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for len(got) < 2 {
+		d := recvPayload(t, st2)
+		var m MessagePayload
+		_ = json.Unmarshal(d.Payload, &m)
+		got = append(got, m.Text)
+	}
+	if got[0] != "while offline 1" || got[1] != "while offline 2" {
+		t.Errorf("catch-up = %v", got)
+	}
+}
+
+func TestFeedCommentsPassThrough(t *testing.T) {
+	e := newEnv(t)
+	cli := e.dial(t)
+	viewer := socialgraph.UserID(17)
+	commenter := socialgraph.UserID(18)
+	st := e.subscribe(t, cli, AppFeedComments, "feedPostComments(postID: 300)", viewer, nil)
+	waitFor(t, "sub", func() bool { return len(e.pylon.Subscribers(PostTopic(300))) == 1 })
+	if _, err := e.was.Mutate(commenter, `postFeedComment(postID: 300, text: "nice post")`); err != nil {
+		t.Fatal(err)
+	}
+	d := recvPayload(t, st)
+	var p CommentPayload
+	if err := json.Unmarshal(d.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Text != "nice post" || p.Author != uint64(commenter) {
+		t.Errorf("payload = %+v", p)
+	}
+}
+
+func TestSuiteRegistersEverything(t *testing.T) {
+	e := newEnv(t)
+	// All six apps resolvable via a quick subscription resolution.
+	exprs := map[string]string{
+		AppLiveComments: "liveVideoComments(videoID: 1)",
+		AppActiveStatus: "activeStatus",
+		AppStories:      "storiesTray",
+		AppMessenger:    "messenger",
+		AppTyping:       "typingIndicator(threadID: 1, peer: 2)",
+		AppFeedComments: "feedPostComments(postID: 1)",
+	}
+	for app, expr := range exprs {
+		if _, err := e.was.ResolveSubscription(1, expr); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+func TestVideoCommentsPollQuery(t *testing.T) {
+	e := newEnv(t)
+	commenter := socialgraph.UserID(19)
+	for i := 0; i < 5; i++ {
+		if _, err := e.was.Mutate(commenter,
+			fmt.Sprintf(`postComment(videoID: 400, text: "c%d")`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := e.was.Query(1, "videoComments(videoID: 400, limit: 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comments []CommentPayload
+	if err := json.Unmarshal(out, &comments); err != nil {
+		t.Fatal(err)
+	}
+	if len(comments) != 3 {
+		t.Errorf("limit ignored: %d comments", len(comments))
+	}
+	// Range query cost accounted in TAO stats.
+	if e.tao.Stats().RangeQueries.Value() == 0 {
+		t.Error("poll query not accounted as range query")
+	}
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+
+	"bladerunner/internal/brass"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+// FeedComments is the NewsFeedPostComments application: live comments on a
+// News Feed post the user is currently focused on. Unlike live videos,
+// posts have moderate comment rates, so the BRASS pushes each passing
+// comment immediately (after the WAS privacy check) without ranking — the
+// interesting property here is the rapidly changing focus: a user scrolling
+// their feed cancels and opens these streams constantly (§1 challenge 2).
+type FeedComments struct {
+	w *was.Server
+}
+
+// PostTopic returns the Pylon topic for a post's comments.
+func PostTopic(postID uint64) pylon.Topic {
+	return pylon.Topic(fmt.Sprintf("/Post/%d", postID))
+}
+
+// NewFeedComments registers the WAS half and returns the application.
+func NewFeedComments(w *was.Server) *FeedComments {
+	a := &FeedComments{w: w}
+
+	w.RegisterMutation("postFeedComment", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		postID, err := call.Uint64Arg("postID")
+		if err != nil {
+			return nil, err
+		}
+		text, err := call.StringArg("text")
+		if err != nil {
+			return nil, err
+		}
+		ref := ctx.Srv.TAO.ObjectAdd("comment", map[string]string{
+			"text":   text,
+			"author": strconv.FormatUint(uint64(ctx.Viewer), 10),
+			"post":   strconv.FormatUint(postID, 10),
+		})
+		ctx.Srv.TAO.AssocAdd(tao.ObjID(postID), "post_comment", ref, ctx.Now, "")
+		ctx.Srv.Publish(pylon.Event{
+			Topic: PostTopic(postID),
+			Ref:   uint64(ref),
+			Meta: map[string]string{
+				"author": strconv.FormatUint(uint64(ctx.Viewer), 10),
+				"post":   strconv.FormatUint(postID, 10),
+			},
+		}, false)
+		return uint64(ref), nil
+	})
+
+	w.RegisterSubscription("feedPostComments", func(ctx *was.Ctx, call was.FieldCall) ([]pylon.Topic, error) {
+		postID, err := call.Uint64Arg("postID")
+		if err != nil {
+			return nil, err
+		}
+		return []pylon.Topic{PostTopic(postID)}, nil
+	})
+
+	w.RegisterPayload(AppFeedComments, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
+		obj, err := ctx.Srv.TAO.ObjectGet(ref)
+		if err != nil {
+			return nil, err
+		}
+		author, _ := strconv.ParseUint(obj.Data["author"], 10, 64)
+		post, _ := strconv.ParseUint(obj.Data["post"], 10, 64)
+		return CommentPayload{CommentID: uint64(ref), VideoID: post, Author: author,
+			Text: obj.Data["text"]}, nil
+	})
+	return a
+}
+
+// Name implements brass.Application.
+func (a *FeedComments) Name() string { return AppFeedComments }
+
+type feedInstance struct {
+	app *FeedComments
+	rt  *brass.Runtime
+}
+
+// NewInstance implements brass.Application.
+func (a *FeedComments) NewInstance(rt *brass.Runtime) brass.AppInstance {
+	return &feedInstance{app: a, rt: rt}
+}
+
+func (in *feedInstance) OnStreamOpen(st *brass.Stream) error {
+	topics, err := in.rt.ResolveSubscription(st.Viewer, st.Header(burst.HdrSubscription))
+	if err != nil {
+		return err
+	}
+	for _, t := range topics {
+		if err := st.AddTopic(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *feedInstance) OnStreamClose(st *brass.Stream, reason string) {}
+
+func (in *feedInstance) OnEvent(ev pylon.Event) {
+	author := ev.Meta["author"]
+	for _, st := range in.rt.Instance().StreamsForTopic(ev.Topic) {
+		// Own comments are already rendered locally.
+		if author == strconv.FormatUint(uint64(st.Viewer), 10) {
+			st.Filtered()
+			continue
+		}
+		payload, err := st.FetchPayload(ev)
+		if err != nil {
+			st.Filtered()
+			continue
+		}
+		_ = st.PushPayload(ev.ID, payload)
+	}
+}
+
+func (in *feedInstance) OnAck(st *brass.Stream, seq uint64) {}
+
+var _ brass.Application = (*FeedComments)(nil)

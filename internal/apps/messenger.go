@@ -1,0 +1,305 @@
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bladerunner/internal/brass"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+// Messenger is the application that needs reliable, in-order delivery on
+// top of Bladerunner's best-effort substrate (paper §4). Each user has a
+// mailbox; every message to a thread is appended to each member's mailbox
+// with the mailbox's next consecutive sequence number. Gaps are therefore
+// detectable at both the BRASS and the device, and the BRASS repairs them
+// by querying the WAS — so the device rarely has to.
+//
+// Resumption state (the last sequence number pushed) is persisted in the
+// stream header via rewrites: after a failure, the resubscribe arrives
+// carrying HdrResumeSeq and the (possibly different) serving BRASS catches
+// the device up from the mailbox before resuming live delivery.
+type Messenger struct {
+	w *was.Server
+
+	mu      sync.Mutex
+	threads map[uint64][]socialgraph.UserID // thread → members
+	mailbox map[socialgraph.UserID]*mailboxState
+	nextTID uint64
+}
+
+type mailboxState struct {
+	ref     tao.ObjID // TAO object anchoring the mailbox assoc list
+	nextSeq uint64
+}
+
+// MessagePayload is the device-facing message JSON.
+type MessagePayload struct {
+	Seq    uint64 `json:"seq"`
+	Thread uint64 `json:"thread"`
+	Author uint64 `json:"author"`
+	Text   string `json:"text"`
+}
+
+// MailboxTopic returns the Pylon topic for a user's mailbox.
+func MailboxTopic(uid socialgraph.UserID) pylon.Topic {
+	return pylon.Topic(fmt.Sprintf("/MB/%d", uid))
+}
+
+// NewMessenger registers the WAS half and returns the application.
+func NewMessenger(w *was.Server) *Messenger {
+	a := &Messenger{
+		w:       w,
+		threads: make(map[uint64][]socialgraph.UserID),
+		mailbox: make(map[socialgraph.UserID]*mailboxState),
+	}
+
+	// createThread(members: "1,2,3") → thread id.
+	w.RegisterMutation("createThread", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		raw, err := call.StringArg("members")
+		if err != nil {
+			return nil, err
+		}
+		var members []socialgraph.UserID
+		for _, part := range strings.Split(raw, ",") {
+			uid, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("messenger: bad member %q", part)
+			}
+			members = append(members, socialgraph.UserID(uid))
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("messenger: thread needs members")
+		}
+		a.mu.Lock()
+		a.nextTID++
+		tid := a.nextTID
+		a.threads[tid] = members
+		a.mu.Unlock()
+		return tid, nil
+	})
+
+	// sendMessage(threadID: T, text: "..."): append to every member's
+	// mailbox with that mailbox's next sequence number, then publish one
+	// event per member mailbox.
+	w.RegisterMutation("sendMessage", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		tid, err := call.Uint64Arg("threadID")
+		if err != nil {
+			return nil, err
+		}
+		text, err := call.StringArg("text")
+		if err != nil {
+			return nil, err
+		}
+		a.mu.Lock()
+		members := a.threads[tid]
+		a.mu.Unlock()
+		if members == nil {
+			return nil, fmt.Errorf("messenger: unknown thread %d", tid)
+		}
+		ref := ctx.Srv.TAO.ObjectAdd("message", map[string]string{
+			"text":   text,
+			"author": strconv.FormatUint(uint64(ctx.Viewer), 10),
+			"thread": strconv.FormatUint(tid, 10),
+		})
+		for _, member := range members {
+			seq := a.appendToMailbox(ctx, member, ref)
+			ctx.Srv.Publish(pylon.Event{
+				Topic: MailboxTopic(member),
+				Ref:   uint64(ref),
+				Seq:   seq,
+				Meta: map[string]string{
+					"author": strconv.FormatUint(uint64(ctx.Viewer), 10),
+					"thread": strconv.FormatUint(tid, 10),
+					"seq":    strconv.FormatUint(seq, 10),
+				},
+			}, false)
+		}
+		return uint64(ref), nil
+	})
+
+	// mailboxSince(seq: S) → messages with sequence > S, oldest first.
+	// The BRASS uses this for gap repair and resume catch-up.
+	w.RegisterQuery("mailboxSince", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		since, err := call.Uint64Arg("seq")
+		if err != nil {
+			return nil, err
+		}
+		return a.mailboxSince(ctx, ctx.Viewer, since), nil
+	})
+
+	w.RegisterSubscription("messenger", func(ctx *was.Ctx, call was.FieldCall) ([]pylon.Topic, error) {
+		return []pylon.Topic{MailboxTopic(ctx.Viewer)}, nil
+	})
+
+	w.RegisterPayload(AppMessenger, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
+		obj, err := ctx.Srv.TAO.ObjectGet(ref)
+		if err != nil {
+			return nil, err
+		}
+		return a.payloadFromObj(obj, ev.Seq), nil
+	})
+	return a
+}
+
+func (a *Messenger) payloadFromObj(obj tao.Object, seq uint64) MessagePayload {
+	author, _ := strconv.ParseUint(obj.Data["author"], 10, 64)
+	thread, _ := strconv.ParseUint(obj.Data["thread"], 10, 64)
+	return MessagePayload{Seq: seq, Thread: thread, Author: author, Text: obj.Data["text"]}
+}
+
+// appendToMailbox assigns the next sequence number and stores the mailbox
+// association in TAO (assoc data = seq).
+func (a *Messenger) appendToMailbox(ctx *was.Ctx, member socialgraph.UserID, ref tao.ObjID) uint64 {
+	a.mu.Lock()
+	mb := a.mailbox[member]
+	if mb == nil {
+		anchor := ctx.Srv.TAO.ObjectAdd("mailbox", map[string]string{
+			"owner": strconv.FormatUint(uint64(member), 10),
+		})
+		mb = &mailboxState{ref: anchor}
+		a.mailbox[member] = mb
+	}
+	mb.nextSeq++
+	seq := mb.nextSeq
+	anchor := mb.ref
+	a.mu.Unlock()
+	ctx.Srv.TAO.AssocAdd(anchor, "mailbox_msg", ref, ctx.Now, strconv.FormatUint(seq, 10))
+	return seq
+}
+
+// mailboxSince reads messages with seq > since, oldest first.
+func (a *Messenger) mailboxSince(ctx *was.Ctx, owner socialgraph.UserID, since uint64) []MessagePayload {
+	a.mu.Lock()
+	mb := a.mailbox[owner]
+	a.mu.Unlock()
+	if mb == nil {
+		return nil
+	}
+	assocs := ctx.Srv.TAO.AssocRange(mb.ref, "mailbox_msg", 0, 0) // newest first
+	out := make([]MessagePayload, 0, len(assocs))
+	for i := len(assocs) - 1; i >= 0; i-- { // reverse to oldest-first
+		seq, _ := strconv.ParseUint(assocs[i].Data, 10, 64)
+		if seq <= since {
+			continue
+		}
+		obj, err := ctx.Srv.TAO.ObjectGet(assocs[i].ID2)
+		if err != nil {
+			continue
+		}
+		out = append(out, a.payloadFromObj(obj, seq))
+	}
+	return out
+}
+
+// Name implements brass.Application.
+func (a *Messenger) Name() string { return AppMessenger }
+
+type messengerStream struct {
+	lastSeq uint64
+}
+
+type messengerInstance struct {
+	app *Messenger
+	rt  *brass.Runtime
+}
+
+// NewInstance implements brass.Application.
+func (a *Messenger) NewInstance(rt *brass.Runtime) brass.AppInstance {
+	return &messengerInstance{app: a, rt: rt}
+}
+
+func (in *messengerInstance) OnStreamOpen(st *brass.Stream) error {
+	topics, err := in.rt.ResolveSubscription(st.Viewer, st.Header(burst.HdrSubscription))
+	if err != nil {
+		return err
+	}
+	state := &messengerStream{}
+	if resume := st.Header(burst.HdrResumeSeq); resume != "" {
+		if seq, err := strconv.ParseUint(resume, 10, 64); err == nil {
+			state.lastSeq = seq
+		}
+	}
+	st.State = state
+	for _, t := range topics {
+		if err := st.AddTopic(t); err != nil {
+			return err
+		}
+	}
+	// Catch-up: deliver everything the device missed while disconnected
+	// (the device resubscribed with the last sequence number it had).
+	in.catchUp(st, state)
+	return nil
+}
+
+// catchUp polls the mailbox for messages after state.lastSeq and pushes
+// them in order.
+func (in *messengerInstance) catchUp(st *brass.Stream, state *messengerStream) {
+	raw, err := in.rt.Query(st.Viewer, fmt.Sprintf("mailboxSince(seq: %d)", state.lastSeq))
+	if err != nil {
+		return
+	}
+	var msgs []MessagePayload
+	if err := json.Unmarshal(raw, &msgs); err != nil {
+		return
+	}
+	for _, m := range msgs {
+		if m.Seq <= state.lastSeq {
+			continue
+		}
+		b, _ := json.Marshal(m)
+		if st.PushPayload(m.Seq, b) == nil {
+			state.lastSeq = m.Seq
+		}
+	}
+	_ = st.RewriteHeaderField(burst.HdrResumeSeq, strconv.FormatUint(state.lastSeq, 10))
+}
+
+func (in *messengerInstance) OnStreamClose(st *brass.Stream, reason string) { st.State = nil }
+
+func (in *messengerInstance) OnEvent(ev pylon.Event) {
+	for _, st := range in.rt.Instance().StreamsForTopic(ev.Topic) {
+		state, ok := st.State.(*messengerStream)
+		if !ok {
+			continue
+		}
+		switch {
+		case ev.Seq <= state.lastSeq:
+			// Duplicate (e.g. Pylon patch-forwarding): drop.
+			st.Filtered()
+		case ev.Seq == state.lastSeq+1:
+			// In order: fetch and push.
+			payload, err := st.FetchPayload(ev)
+			if err != nil {
+				st.Filtered()
+				continue
+			}
+			if st.PushPayload(ev.Seq, payload) == nil {
+				state.lastSeq = ev.Seq
+				_ = st.RewriteHeaderField(burst.HdrResumeSeq,
+					strconv.FormatUint(state.lastSeq, 10))
+			}
+		default:
+			// Gap: a prior event was dropped somewhere. The BRASS
+			// repairs it from the mailbox so the device never sees
+			// the hole (paper §4: "BRASS will recover the dropped
+			// message so the device does not have to").
+			in.catchUp(st, state)
+		}
+	}
+}
+
+func (in *messengerInstance) OnAck(st *brass.Stream, seq uint64) {
+	// Device-acknowledged delivery; state is already tracked via lastSeq.
+	// Acks exist so BRASSes can implement retransmission policies; the
+	// mailbox makes retransmission a catch-up query here.
+}
+
+var _ brass.Application = (*Messenger)(nil)

@@ -1,0 +1,391 @@
+package brass
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"bladerunner/internal/burst"
+	"bladerunner/internal/metrics"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/sim"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/was"
+)
+
+// ErrUnknownApp is returned when a stream names an unregistered application.
+var ErrUnknownApp = errors.New("brass: unknown application")
+
+// ErrHostFull is returned when spooling an instance would exceed the
+// host's MaxInstances capacity.
+var ErrHostFull = errors.New("brass: host at instance capacity")
+
+// HostConfig parameterizes a BRASS host.
+type HostConfig struct {
+	// ID is the host's identity with Pylon and in sticky-routing headers.
+	ID string
+	// Region labels the host's datacenter region.
+	Region string
+	// StickyRouting controls whether the host rewrites HdrStickyBRASS
+	// into every new stream (paper §3.5 "Sticky routing"). On by default
+	// in NewHost.
+	StickyRouting bool
+	// PerStreamInstances spools up a dedicated application instance for
+	// every request-stream instead of sharing one instance per app — the
+	// lower-scale variant §7 suggests for better isolation. Instances
+	// despool automatically when their stream closes.
+	PerStreamInstances bool
+	// MaxInstances caps concurrently running instances on this host
+	// (the paper limits BRASSes to two per core to curb context
+	// switching). 0 = unlimited. Streams that would exceed the cap are
+	// rejected; the router places them elsewhere.
+	MaxInstances int
+}
+
+// Host is one BRASS host: a multi-tenant machine running one instance per
+// active application, a Pylon subscription manager, and the BURST server
+// endpoints for the streams routed to it.
+type Host struct {
+	cfg   HostConfig
+	pylon *pylon.Service
+	was   *was.Server
+	sched sim.Scheduler
+
+	mu        sync.Mutex
+	apps      map[string]Application
+	instances map[string]*Instance
+	// topicHostRefs counts, per topic, how many local instances hold a
+	// Pylon interest: the subscription manager registers with Pylon only
+	// on the 0→1 transition and unregisters on 1→0 (footnote 10).
+	topicHostRefs map[pylon.Topic]map[*Instance]bool
+	sessions      map[*burst.ServerSession]bool
+	perStream     map[*Instance]bool
+	closed        bool
+
+	// Metrics (exported so experiments and tests can assert on them).
+	Decisions          metrics.Counter
+	Deliveries         metrics.Counter
+	Filtered           metrics.Counter
+	StreamsOpened      metrics.Counter
+	StreamsClosed      metrics.Counter
+	InstancesSpun      metrics.Counter
+	InstancesDespooled metrics.Counter
+	LoopOverflows      metrics.Counter
+	PylonSubs          metrics.Counter
+	PylonSubDedups     metrics.Counter // Pylon registrations avoided by the manager
+	WASFetches         metrics.Counter
+}
+
+// NewHost builds a BRASS host and registers it with Pylon.
+func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Scheduler) *Host {
+	if cfg.ID == "" {
+		panic("brass: host needs an ID")
+	}
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+	h := &Host{
+		cfg:           cfg,
+		pylon:         pyl,
+		was:           wasrv,
+		sched:         sched,
+		apps:          make(map[string]Application),
+		instances:     make(map[string]*Instance),
+		topicHostRefs: make(map[pylon.Topic]map[*Instance]bool),
+		sessions:      make(map[*burst.ServerSession]bool),
+		perStream:     make(map[*Instance]bool),
+	}
+	if pyl != nil {
+		pyl.RegisterHost(h)
+	}
+	return h
+}
+
+// ID implements pylon.Subscriber.
+func (h *Host) ID() string { return h.cfg.ID }
+
+// Region returns the host's region label.
+func (h *Host) Region() string { return h.cfg.Region }
+
+// RegisterApp makes an application available on this host. Instances spool
+// up lazily when the first stream arrives.
+func (h *Host) RegisterApp(app Application) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.apps[app.Name()] = app
+}
+
+// Instance returns the running instance for app, spooling one up if the
+// application is registered (the "serverless" behaviour of §1).
+func (h *Host) Instance(appName string) (*Instance, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.instanceLocked(appName)
+}
+
+func (h *Host) instanceLocked(appName string) (*Instance, error) {
+	if h.closed {
+		return nil, fmt.Errorf("brass: host %s closed", h.cfg.ID)
+	}
+	app, ok := h.apps[appName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownApp, appName)
+	}
+	if h.cfg.PerStreamInstances {
+		// One instance per stream: never shared, never cached.
+		if h.atCapacityLocked() {
+			return nil, fmt.Errorf("%w (%d)", ErrHostFull, h.cfg.MaxInstances)
+		}
+		inst := newInstance(h, app)
+		h.perStream[inst] = true
+		h.InstancesSpun.Inc()
+		return inst, nil
+	}
+	if inst, ok := h.instances[appName]; ok {
+		return inst, nil
+	}
+	if h.atCapacityLocked() {
+		return nil, fmt.Errorf("%w (%d)", ErrHostFull, h.cfg.MaxInstances)
+	}
+	inst := newInstance(h, app)
+	h.instances[appName] = inst
+	h.InstancesSpun.Inc()
+	return inst, nil
+}
+
+// atCapacityLocked reports whether another instance would exceed the cap.
+func (h *Host) atCapacityLocked() bool {
+	return h.cfg.MaxInstances > 0 &&
+		len(h.instances)+len(h.perStream) >= h.cfg.MaxInstances
+}
+
+// despool tears down a per-stream instance once its stream has closed.
+// Runs off the instance's own loop to avoid self-join deadlock.
+func (h *Host) despool(inst *Instance) {
+	h.mu.Lock()
+	if !h.perStream[inst] {
+		h.mu.Unlock()
+		return
+	}
+	delete(h.perStream, inst)
+	h.mu.Unlock()
+	go func() {
+		inst.stop()
+		h.InstancesDespooled.Inc()
+	}()
+}
+
+// RunningInstances returns the number of spooled-up instances.
+func (h *Host) RunningInstances() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.instances) + len(h.perStream)
+}
+
+// Deliver implements pylon.Subscriber: the host's subscription manager fans
+// the event out to every local instance interested in the topic.
+func (h *Host) Deliver(ev pylon.Event) {
+	h.mu.Lock()
+	set := h.topicHostRefs[ev.Topic]
+	instances := make([]*Instance, 0, len(set))
+	for inst := range set {
+		instances = append(instances, inst)
+	}
+	h.mu.Unlock()
+	for _, inst := range instances {
+		inst.deliver(ev)
+	}
+}
+
+// subscribeTopic is called by an instance on its first local reference to
+// topic. The manager registers with Pylon only if no other instance on this
+// host already subscribed.
+func (h *Host) subscribeTopic(topic pylon.Topic, inst *Instance) error {
+	h.mu.Lock()
+	set := h.topicHostRefs[topic]
+	needPylon := len(set) == 0
+	if set == nil {
+		set = make(map[*Instance]bool)
+		h.topicHostRefs[topic] = set
+	}
+	set[inst] = true
+	h.mu.Unlock()
+
+	if !needPylon {
+		h.PylonSubDedups.Inc()
+		return nil
+	}
+	if h.pylon == nil {
+		return nil
+	}
+	if err := h.pylon.Subscribe(topic, h.cfg.ID); err != nil {
+		h.mu.Lock()
+		delete(set, inst)
+		if len(set) == 0 {
+			delete(h.topicHostRefs, topic)
+		}
+		h.mu.Unlock()
+		return err
+	}
+	h.PylonSubs.Inc()
+	return nil
+}
+
+// unsubscribeTopic drops an instance's interest; the last local reference
+// unregisters the host from Pylon.
+func (h *Host) unsubscribeTopic(topic pylon.Topic, inst *Instance) {
+	h.mu.Lock()
+	set := h.topicHostRefs[topic]
+	delete(set, inst)
+	last := set != nil && len(set) == 0
+	if last {
+		delete(h.topicHostRefs, topic)
+	}
+	h.mu.Unlock()
+	if last && h.pylon != nil {
+		_ = h.pylon.Unsubscribe(topic, h.cfg.ID)
+	}
+}
+
+// TopicRefs returns how many local instances reference topic (tests).
+func (h *Host) TopicRefs(topic pylon.Topic) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.topicHostRefs[topic])
+}
+
+// AcceptSession attaches an inbound BURST transport (from a proxy or,
+// in tests, directly from a device) to this host.
+func (h *Host) AcceptSession(name string, rwc io.ReadWriteCloser) *burst.ServerSession {
+	var ss *burst.ServerSession
+	ss = burst.NewServerSession(name, rwc, hostSessionHandler{h: h, get: func() *burst.ServerSession { return ss }})
+	h.mu.Lock()
+	h.sessions[ss] = true
+	h.mu.Unlock()
+	return ss
+}
+
+// Close despools all instances and closes all sessions.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	instances := make([]*Instance, 0, len(h.instances)+len(h.perStream))
+	for _, inst := range h.instances {
+		instances = append(instances, inst)
+	}
+	for inst := range h.perStream {
+		instances = append(instances, inst)
+	}
+	h.perStream = make(map[*Instance]bool)
+	sessions := make([]*burst.ServerSession, 0, len(h.sessions))
+	for s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	for _, s := range sessions {
+		_ = s.Close()
+	}
+	for _, inst := range instances {
+		inst.stop()
+	}
+	if h.pylon != nil {
+		h.pylon.RemoveHost(h.cfg.ID)
+	}
+}
+
+type hostSessionHandler struct {
+	h   *Host
+	get func() *burst.ServerSession
+}
+
+func (hh hostSessionHandler) OnSubscribe(bst *burst.ServerStream, sub burst.Subscribe) {
+	h := hh.h
+	appName := sub.Header[burst.HdrApp]
+	inst, err := h.Instance(appName)
+	if err != nil {
+		_ = bst.Terminate(err.Error())
+		return
+	}
+	st := &Stream{
+		burst:  bst,
+		inst:   inst,
+		topics: make(map[pylon.Topic]bool),
+	}
+	if uidStr, ok := sub.Header[burst.HdrUser]; ok {
+		if uid, err := strconv.ParseUint(uidStr, 10, 64); err == nil {
+			st.Viewer = socialgraph.UserID(uid)
+		}
+	}
+	bst.State = st
+	// Sticky routing: pin this host into the reconnect state immediately
+	// (paper §3.5). Proxies snooping the batch update their copy too.
+	if h.cfg.StickyRouting {
+		_ = bst.RewriteHeaderField(burst.HdrStickyBRASS, h.cfg.ID)
+	}
+	inst.openStream(st)
+}
+
+func (hh hostSessionHandler) OnCancel(bst *burst.ServerStream, c burst.Cancel) {
+	if st, ok := bst.State.(*Stream); ok {
+		st.inst.closeStream(st, "cancelled: "+c.Reason)
+	}
+}
+
+func (hh hostSessionHandler) OnAck(bst *burst.ServerStream, a burst.Ack) {
+	if st, ok := bst.State.(*Stream); ok {
+		st.inst.post(func() { st.inst.impl.OnAck(st, a.Seq) })
+	}
+}
+
+func (hh hostSessionHandler) OnSessionClose(streams []*burst.ServerStream, err error) {
+	h := hh.h
+	h.mu.Lock()
+	if ss := hh.get(); ss != nil {
+		delete(h.sessions, ss)
+	}
+	h.mu.Unlock()
+	reason := "session closed"
+	if err != nil {
+		reason = "session failed: " + err.Error()
+	}
+	for _, bst := range streams {
+		if st, ok := bst.State.(*Stream); ok {
+			st.inst.closeStream(st, reason)
+		}
+	}
+}
+
+// Quiesce blocks until every instance's event loop has drained the work
+// posted before the call. Tests use it to avoid sleeps.
+func (h *Host) Quiesce() {
+	h.mu.Lock()
+	instances := make([]*Instance, 0, len(h.instances)+len(h.perStream))
+	for _, inst := range h.instances {
+		instances = append(instances, inst)
+	}
+	for inst := range h.perStream {
+		instances = append(instances, inst)
+	}
+	h.mu.Unlock()
+	for _, inst := range instances {
+		inst.call(func() {})
+	}
+}
+
+// FilterRate returns the fraction of decisions that did not result in a
+// delivery — the paper reports ~80% of messages are filtered out at BRASS.
+func (h *Host) FilterRate() float64 {
+	d := h.Decisions.Value()
+	if d == 0 {
+		return 0
+	}
+	return 1 - float64(h.Deliveries.Value())/float64(d)
+}
+
+var _ pylon.Subscriber = (*Host)(nil)

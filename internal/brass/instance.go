@@ -1,0 +1,280 @@
+// Package brass implements BRASS (Bladerunner Application Stream Servers,
+// paper §3.2): per-application stream processors that receive update events
+// from Pylon, filter/rank/privacy-check them per device, and push selected
+// updates down BURST streams.
+//
+// Architecture reproduced from the paper:
+//
+//   - Each application has its own BRASS implementation (the Application
+//     interface); there is no generic configurable filter pipeline.
+//   - BRASS is serverless: an instance spools up on a host the first time
+//     a stream for its application arrives there, and despools when idle.
+//   - Each instance runs single-threaded: all callbacks execute on one
+//     event-loop goroutine, mirroring the JS V8 VMs Facebook uses, so
+//     application code never needs locks.
+//   - Hosts are multi-tenant: several application instances share a host.
+//     A per-host subscription manager dedups Pylon subscriptions — a topic
+//     is registered with Pylon once per host no matter how many local
+//     instances want it (footnote 10).
+package brass
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bladerunner/internal/pylon"
+)
+
+// Application is one Bladerunner use case's BRASS implementation. Each of
+// its instances is created on demand per host.
+type Application interface {
+	// Name is the application id carried in subscription headers.
+	Name() string
+	// NewInstance builds the per-host application state. All AppInstance
+	// callbacks run on the instance's event loop.
+	NewInstance(rt *Runtime) AppInstance
+}
+
+// AppInstance receives the application callbacks. Implementations are
+// single-threaded by construction and must not block the loop for long.
+type AppInstance interface {
+	// OnStreamOpen is invoked when a device stream lands on this
+	// instance. The app typically resolves the subscription to topics,
+	// calls st.AddTopic for each, and initializes per-stream state.
+	// Returning an error terminates the stream.
+	OnStreamOpen(st *Stream) error
+	// OnStreamClose is invoked when a stream ends (cancel, failure, or
+	// termination).
+	OnStreamClose(st *Stream, reason string)
+	// OnEvent is invoked for each Pylon update event on a topic this
+	// instance subscribed to.
+	OnEvent(ev pylon.Event)
+	// OnAck is invoked when a device acknowledges deltas.
+	OnAck(st *Stream, seq uint64)
+}
+
+// Instance is one spooled-up BRASS: an application's state plus the event
+// loop that serializes all its work.
+type Instance struct {
+	host *Host
+	app  Application
+	rt   *Runtime
+	impl AppInstance
+
+	tasks chan func()
+	quit  chan struct{}
+	done  chan struct{}
+
+	// Loop-owned state (no locks needed on the loop):
+	topicStreams map[pylon.Topic]map[*Stream]bool
+	streams      map[*Stream]bool
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// taskBuffer bounds the pending work per instance. Pylon delivery is
+// best-effort: if an instance's loop is saturated, events are dropped and
+// counted (the paper's "drop messages intelligently" happens in app logic;
+// this is the backstop).
+const taskBuffer = 4096
+
+func newInstance(h *Host, app Application) *Instance {
+	inst := &Instance{
+		host:         h,
+		app:          app,
+		tasks:        make(chan func(), taskBuffer),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		topicStreams: make(map[pylon.Topic]map[*Stream]bool),
+		streams:      make(map[*Stream]bool),
+	}
+	inst.rt = &Runtime{host: h, inst: inst}
+	inst.impl = app.NewInstance(inst.rt)
+	go inst.loop()
+	return inst
+}
+
+func (inst *Instance) loop() {
+	defer close(inst.done)
+	for {
+		select {
+		case fn := <-inst.tasks:
+			fn()
+		case <-inst.quit:
+			// Drain remaining tasks before exiting so shutdown is
+			// not racy with queued work.
+			for {
+				select {
+				case fn := <-inst.tasks:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// post enqueues fn onto the event loop. It reports false (and counts a
+// drop) if the loop is saturated or stopped.
+func (inst *Instance) post(fn func()) bool {
+	inst.mu.Lock()
+	if inst.stopped {
+		inst.mu.Unlock()
+		return false
+	}
+	inst.mu.Unlock()
+	select {
+	case inst.tasks <- fn:
+		return true
+	default:
+		inst.host.LoopOverflows.Inc()
+		return false
+	}
+}
+
+// call posts fn and waits for it to run — used by tests and by host
+// teardown paths that need synchronous semantics.
+func (inst *Instance) call(fn func()) {
+	ch := make(chan struct{})
+	if !inst.post(func() {
+		defer close(ch)
+		fn()
+	}) {
+		return
+	}
+	select {
+	case <-ch:
+	case <-inst.done:
+	}
+}
+
+// stop despools the instance: pending tasks are drained, then the loop
+// exits. Host-level maps are cleaned by the caller.
+func (inst *Instance) stop() {
+	inst.mu.Lock()
+	if inst.stopped {
+		inst.mu.Unlock()
+		return
+	}
+	inst.stopped = true
+	inst.mu.Unlock()
+	close(inst.quit)
+	<-inst.done
+}
+
+// deliver posts a Pylon event to the loop, counting per-stream decisions:
+// every event arriving at an instance forces one keep/drop decision per
+// candidate stream (Fig 8's "decisions on updates").
+func (inst *Instance) deliver(ev pylon.Event) {
+	inst.post(func() {
+		if streams := inst.topicStreams[ev.Topic]; len(streams) > 0 {
+			inst.host.Decisions.Add(int64(len(streams)))
+		} else {
+			// Subscribed with no local streams (e.g. friend-status
+			// fan-in): still one decision by the app.
+			inst.host.Decisions.Inc()
+		}
+		inst.impl.OnEvent(ev)
+	})
+}
+
+// addTopicRef registers st's interest in topic (loop-owned).
+func (inst *Instance) addTopicRef(topic pylon.Topic, st *Stream) error {
+	set := inst.topicStreams[topic]
+	first := set == nil
+	if first {
+		set = make(map[*Stream]bool)
+		inst.topicStreams[topic] = set
+	}
+	if set[st] {
+		return nil
+	}
+	set[st] = true
+	st.topics[topic] = true
+	if first {
+		if err := inst.host.subscribeTopic(topic, inst); err != nil {
+			delete(inst.topicStreams, topic)
+			delete(st.topics, topic)
+			return err
+		}
+	}
+	return nil
+}
+
+// dropTopicRef removes st's interest; the last reference unsubscribes the
+// instance (and possibly the host) from Pylon.
+func (inst *Instance) dropTopicRef(topic pylon.Topic, st *Stream) {
+	set := inst.topicStreams[topic]
+	if set == nil || !set[st] {
+		return
+	}
+	delete(set, st)
+	delete(st.topics, topic)
+	if len(set) == 0 {
+		delete(inst.topicStreams, topic)
+		inst.host.unsubscribeTopic(topic, inst)
+	}
+}
+
+// StreamsForTopic returns the streams currently interested in topic. Only
+// call from the event loop (i.e. from application callbacks).
+func (inst *Instance) StreamsForTopic(topic pylon.Topic) []*Stream {
+	set := inst.topicStreams[topic]
+	out := make([]*Stream, 0, len(set))
+	for st := range set {
+		out = append(out, st)
+	}
+	return out
+}
+
+// Streams returns all open streams on this instance (loop-only).
+func (inst *Instance) Streams() []*Stream {
+	out := make([]*Stream, 0, len(inst.streams))
+	for st := range inst.streams {
+		out = append(out, st)
+	}
+	return out
+}
+
+// openStream runs the full stream-open sequence on the loop.
+func (inst *Instance) openStream(st *Stream) {
+	inst.post(func() {
+		inst.streams[st] = true
+		if err := inst.impl.OnStreamOpen(st); err != nil {
+			delete(inst.streams, st)
+			for topic := range st.topics {
+				inst.dropTopicRef(topic, st)
+			}
+			_ = st.burst.Terminate(fmt.Sprintf("rejected: %v", err))
+			return
+		}
+		inst.host.StreamsOpened.Inc()
+	})
+}
+
+// closeStream runs the stream-close sequence on the loop.
+func (inst *Instance) closeStream(st *Stream, reason string) {
+	inst.post(func() {
+		if !inst.streams[st] {
+			return
+		}
+		delete(inst.streams, st)
+		for topic := range st.topics {
+			inst.dropTopicRef(topic, st)
+		}
+		inst.impl.OnStreamClose(st, reason)
+		inst.host.StreamsClosed.Inc()
+		if len(inst.streams) == 0 {
+			// Per-stream instances despool with their stream.
+			inst.host.despool(inst)
+		}
+	})
+}
+
+// After schedules fn on the event loop after d (application timers).
+func (inst *Instance) After(d time.Duration, fn func()) (cancel func()) {
+	return inst.host.sched.After(d, func() { inst.post(fn) })
+}

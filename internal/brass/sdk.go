@@ -1,0 +1,146 @@
+package brass
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"bladerunner/internal/burst"
+)
+
+// This file contains the small SDK of building blocks shared by BRASS
+// applications: a token-style rate limiter whose state can be persisted in
+// stream headers (so it survives BRASS failover via rewrites, paper §3.5
+// "Resumption"), and the per-viewer ranked buffer LiveVideoComments uses.
+
+// RateLimiter enforces a minimum interval between deliveries on a stream.
+// It is loop-owned (no locking). Its state round-trips through a header
+// field so a replacement BRASS resumes where the failed one left off.
+type RateLimiter struct {
+	Interval time.Duration
+	last     time.Time
+}
+
+// Allow reports whether a delivery may happen at time now, consuming the
+// slot when it returns true.
+func (r *RateLimiter) Allow(now time.Time) bool {
+	if r.Interval <= 0 {
+		return true
+	}
+	if r.last.IsZero() || now.Sub(r.last) >= r.Interval {
+		r.last = now
+		return true
+	}
+	return false
+}
+
+// Next returns the earliest time a delivery will be allowed.
+func (r *RateLimiter) Next() time.Time {
+	if r.last.IsZero() {
+		return time.Time{}
+	}
+	return r.last.Add(r.Interval)
+}
+
+// HeaderState encodes the limiter state for a rewrite.
+func (r *RateLimiter) HeaderState() string {
+	return strconv.FormatInt(r.last.UnixNano(), 10)
+}
+
+// RestoreHeaderState loads limiter state stored by a previous BRASS.
+func (r *RateLimiter) RestoreHeaderState(s string) {
+	if s == "" {
+		return
+	}
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil && ns > 0 {
+		r.last = time.Unix(0, ns)
+	}
+}
+
+// HdrRateLimiterState is the header key used to persist limiter state.
+const HdrRateLimiterState = "rate-limiter-state"
+
+// RankedItem is one buffered update candidate.
+type RankedItem struct {
+	Score   float64
+	Time    time.Time
+	Seq     uint64
+	Payload []byte
+	// Meta carries whatever the app needs at delivery time.
+	Meta map[string]string
+}
+
+// RankedBuffer keeps the top-K candidates by score, discarding entries
+// older than TTL at Pop time. LiveVideoComments holds one per stream: new
+// comments are inserted after per-viewer filtering, and the highest-ranked
+// one is popped at the rate limit (paper §3.4).
+type RankedBuffer struct {
+	K   int
+	TTL time.Duration
+
+	items []RankedItem
+}
+
+// Len returns the number of buffered items.
+func (b *RankedBuffer) Len() int { return len(b.items) }
+
+// Add inserts a candidate, evicting the lowest-scored item if the buffer
+// exceeds K.
+func (b *RankedBuffer) Add(item RankedItem) {
+	b.items = append(b.items, item)
+	sort.SliceStable(b.items, func(i, j int) bool { return b.items[i].Score > b.items[j].Score })
+	if b.K > 0 && len(b.items) > b.K {
+		b.items = b.items[:b.K]
+	}
+}
+
+// Pop removes and returns the highest-ranked item that is still fresh at
+// time now. Stale items are discarded. ok is false if nothing remains.
+func (b *RankedBuffer) Pop(now time.Time) (RankedItem, bool) {
+	for len(b.items) > 0 {
+		item := b.items[0]
+		b.items = b.items[1:]
+		if b.TTL > 0 && now.Sub(item.Time) > b.TTL {
+			continue // comment went stale; irrelevant to the viewer now
+		}
+		return item, true
+	}
+	return RankedItem{}, false
+}
+
+// Expire drops all stale items without popping.
+func (b *RankedBuffer) Expire(now time.Time) {
+	if b.TTL <= 0 {
+		return
+	}
+	kept := b.items[:0]
+	for _, item := range b.items {
+		if now.Sub(item.Time) <= b.TTL {
+			kept = append(kept, item)
+		}
+	}
+	b.items = kept
+}
+
+// BatchAccumulator groups per-stream updates for periodic batch pushes
+// (ActiveStatus pushes friend-status maps in periodic batches, §3.4).
+type BatchAccumulator struct {
+	pending []burst.Delta
+}
+
+// Add queues a delta for the next flush.
+func (a *BatchAccumulator) Add(d burst.Delta) { a.pending = append(a.pending, d) }
+
+// Len returns the number of queued deltas.
+func (a *BatchAccumulator) Len() int { return len(a.pending) }
+
+// Flush sends everything queued as one atomic batch and clears the queue.
+// A nil error with zero deltas means there was nothing to send.
+func (a *BatchAccumulator) Flush(st *Stream) error {
+	if len(a.pending) == 0 {
+		return nil
+	}
+	deltas := a.pending
+	a.pending = nil
+	return st.Push(deltas...)
+}

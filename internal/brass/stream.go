@@ -1,0 +1,150 @@
+package brass
+
+import (
+	"time"
+
+	"bladerunner/internal/burst"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+)
+
+// Stream is one device request-stream as seen by application code. All
+// methods that mutate stream state must be called from the instance's event
+// loop (i.e. from application callbacks); Push and Rewrite are safe
+// anywhere because the underlying BURST stream serializes sends.
+type Stream struct {
+	burst *burst.ServerStream
+	inst  *Instance
+
+	// Viewer is the subscribing user (parsed from the stream header).
+	Viewer socialgraph.UserID
+
+	// topics tracks the Pylon topics this stream holds references to.
+	topics map[pylon.Topic]bool
+
+	// State is free space for per-stream application state (ranked
+	// buffers, rate limiters, sequence cursors...). Loop-owned.
+	State any
+}
+
+// SID returns the BURST stream id.
+func (st *Stream) SID() burst.StreamID { return st.burst.SID() }
+
+// Request returns the stream's current subscription request.
+func (st *Stream) Request() burst.Subscribe { return st.burst.Request() }
+
+// Header returns a specific header field of the current request.
+func (st *Stream) Header(key string) string { return st.burst.Request().Header[key] }
+
+// AddTopic subscribes the stream to a Pylon topic. The first local
+// reference triggers instance→host→Pylon registration. Loop-only.
+func (st *Stream) AddTopic(topic pylon.Topic) error { return st.inst.addTopicRef(topic, st) }
+
+// DropTopic removes the stream's interest in topic. Loop-only.
+func (st *Stream) DropTopic(topic pylon.Topic) { st.inst.dropTopicRef(topic, st) }
+
+// Topics returns the stream's current topic set. Loop-only.
+func (st *Stream) Topics() []pylon.Topic {
+	out := make([]pylon.Topic, 0, len(st.topics))
+	for t := range st.topics {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Push sends payload deltas to the device as one atomic batch, counting a
+// delivery per delta.
+func (st *Stream) Push(deltas ...burst.Delta) error {
+	if err := st.burst.SendBatch(deltas...); err != nil {
+		return err
+	}
+	n := 0
+	for _, d := range deltas {
+		if d.Type == burst.DeltaPayload {
+			n++
+		}
+	}
+	st.inst.host.Deliveries.Add(int64(n))
+	return nil
+}
+
+// PushPayload is shorthand for Push of a single payload delta.
+func (st *Stream) PushPayload(seq uint64, payload []byte) error {
+	return st.Push(burst.PayloadDelta(seq, payload))
+}
+
+// Filtered records that the application decided not to deliver an update
+// to this stream (the complement of Push in the decision accounting).
+func (st *Stream) Filtered() { st.inst.host.Filtered.Inc() }
+
+// Rewrite replaces the stream's stored subscription header (paper §3.5):
+// resume tokens, rate-limiter state, redirect targets.
+func (st *Stream) Rewrite(h burst.Header, body []byte) error { return st.burst.Rewrite(h, body) }
+
+// RewriteHeaderField patches one header key.
+func (st *Stream) RewriteHeaderField(key, value string) error {
+	return st.burst.RewriteHeaderField(key, value)
+}
+
+// Terminate ends the stream from the BRASS side and runs the close
+// sequence.
+func (st *Stream) Terminate(reason string) error {
+	err := st.burst.Terminate(reason)
+	st.inst.closeStream(st, reason)
+	return err
+}
+
+// Redirect rewrites routing state to point at another BRASS and terminates
+// the stream; the device's automatic resubscribe will land there (paper
+// §3.5 "Redirects").
+func (st *Stream) Redirect(targetHostID string) error {
+	if err := st.RewriteHeaderField(burst.HdrStickyBRASS, targetHostID); err != nil {
+		return err
+	}
+	return st.Terminate("redirect to " + targetHostID)
+}
+
+// FetchPayload asks the WAS for the device-facing payload of ev, running
+// the privacy check as this stream's viewer (step 8 of Fig 5).
+func (st *Stream) FetchPayload(ev pylon.Event) ([]byte, error) {
+	st.inst.host.WASFetches.Inc()
+	return st.inst.host.was.FetchPayload(st.inst.app.Name(), st.Viewer, ev)
+}
+
+// Runtime is the capability surface handed to application instances. Apps
+// never touch TAO or the social graph directly — every backend interaction
+// goes through the WAS, exactly as in production.
+type Runtime struct {
+	host *Host
+	inst *Instance
+}
+
+// HostID returns the hosting machine's id.
+func (rt *Runtime) HostID() string { return rt.host.cfg.ID }
+
+// Region returns the hosting machine's region.
+func (rt *Runtime) Region() string { return rt.host.cfg.Region }
+
+// Instance returns the runtime's instance for stream/topic queries.
+func (rt *Runtime) Instance() *Instance { return rt.inst }
+
+// Now returns the current time from the host's clock (real or simulated).
+func (rt *Runtime) Now() time.Time { return rt.host.sched.Now() }
+
+// After schedules fn on the instance event loop after d.
+func (rt *Runtime) After(d time.Duration, fn func()) (cancel func()) {
+	return rt.inst.After(d, fn)
+}
+
+// ResolveSubscription asks the WAS to translate a subscription expression
+// into concrete Pylon topics (step 5 of Fig 3).
+func (rt *Runtime) ResolveSubscription(viewer socialgraph.UserID, expr string) ([]pylon.Topic, error) {
+	return rt.host.was.ResolveSubscription(viewer, expr)
+}
+
+// Query issues a read query to the WAS as viewer (used by apps that need
+// backend state, e.g. Messenger's mailbox catch-up reads).
+func (rt *Runtime) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
+	rt.host.WASFetches.Inc()
+	return rt.host.was.Query(viewer, expr)
+}

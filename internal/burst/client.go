@@ -1,0 +1,280 @@
+package burst
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bladerunner/internal/metrics"
+)
+
+// ErrStreamClosed is returned when operating on a terminated stream.
+var ErrStreamClosed = errors.New("burst: stream closed")
+
+// Client is the device-side endpoint of BURST: it opens request-streams
+// over one session and dispatches inbound batches to them.
+//
+// Rewrite deltas are applied transparently: the client updates each
+// stream's stored subscription request so that a later resubscribe (after a
+// failure) carries the BRASS-written state — the application never sees the
+// rewrite (paper §3.5: "rewrites offer a general solution so that the
+// client need not be aware of the states").
+type Client struct {
+	sess *Session
+
+	mu      sync.Mutex
+	nextSID StreamID
+	streams map[StreamID]*ClientStream
+	closed  bool
+	onClose func(error)
+
+	// Dropped counts batches discarded because a stream's event buffer
+	// was full. Delivery is best effort end to end.
+	Dropped metrics.Counter
+
+	// RelayRewrites makes rewrite deltas visible on stream Events in
+	// addition to being applied to the stored request. Proxies set this:
+	// they must forward rewrites downstream so the device's copy of the
+	// reconnect state is updated too. Device clients leave it false.
+	RelayRewrites bool
+}
+
+// eventBuffer is the per-stream channel capacity. A full buffer causes
+// batch drops (counted), mirroring best-effort delivery under client stall.
+const eventBuffer = 256
+
+// NewClient starts a BURST client session over rwc. onClose, if non-nil,
+// runs when the session dies; every open stream also receives a synthetic
+// FlowDegraded delta so the application learns its streams are dark.
+func NewClient(name string, rwc io.ReadWriteCloser, onClose func(error)) *Client {
+	c := &Client{
+		streams: make(map[StreamID]*ClientStream),
+		onClose: onClose,
+	}
+	c.sess = NewSession(name, rwc, clientHandler{c})
+	return c
+}
+
+// ClientStream is one request-stream from the client's perspective.
+type ClientStream struct {
+	client *Client
+	sid    StreamID
+
+	mu         sync.Mutex
+	sub        Subscribe // current (possibly rewritten) request
+	terminated bool
+	lastSeq    uint64
+
+	// Events delivers batches of deltas. Each slice was transmitted
+	// atomically; the channel is closed when the stream terminates.
+	Events chan []Delta
+}
+
+// SID returns the stream id.
+func (st *ClientStream) SID() StreamID { return st.sid }
+
+// Request returns a copy of the stream's current subscription request,
+// reflecting any rewrites. Devices use this to resubscribe after failures.
+func (st *ClientStream) Request() Subscribe {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Subscribe{Header: st.sub.Header.Clone()}
+	if st.sub.Body != nil {
+		out.Body = append([]byte(nil), st.sub.Body...)
+	}
+	return out
+}
+
+// LastSeq returns the highest payload sequence number received.
+func (st *ClientStream) LastSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastSeq
+}
+
+// Ack acknowledges deltas up to and including seq.
+func (st *ClientStream) Ack(seq uint64) error {
+	return st.client.sess.SendMsg(FrameAck, st.sid, Ack{Seq: seq})
+}
+
+// Cancel terminates the stream from the client side.
+func (st *ClientStream) Cancel(reason string) error {
+	st.mu.Lock()
+	if st.terminated {
+		st.mu.Unlock()
+		return nil
+	}
+	st.terminated = true
+	st.mu.Unlock()
+	err := st.client.sess.SendMsg(FrameCancel, st.sid, Cancel{Reason: reason})
+	st.client.removeStream(st.sid)
+	close(st.Events)
+	return err
+}
+
+// Subscribe opens a new request-stream with the given request.
+func (c *Client) Subscribe(sub Subscribe) (*ClientStream, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client %s: %w", c.sess.name, ErrSessionClosed)
+	}
+	c.nextSID++
+	sid := c.nextSID
+	st := &ClientStream{
+		client: c,
+		sid:    sid,
+		sub:    Subscribe{Header: sub.Header.Clone(), Body: sub.Body},
+		Events: make(chan []Delta, eventBuffer),
+	}
+	c.streams[sid] = st
+	c.mu.Unlock()
+
+	if err := c.sess.SendMsg(FrameSubscribe, sid, sub); err != nil {
+		c.removeStream(sid)
+		return nil, err
+	}
+	return st, nil
+}
+
+// Resubscribe opens a stream using a previously stored request (e.g. after
+// reconnecting on a fresh session). It is equivalent to Subscribe but named
+// for readability at call sites.
+func (c *Client) Resubscribe(sub Subscribe) (*ClientStream, error) {
+	return c.Subscribe(sub)
+}
+
+// Streams returns the currently open streams.
+func (c *Client) Streams() []*ClientStream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*ClientStream, 0, len(c.streams))
+	for _, st := range c.streams {
+		out = append(out, st)
+	}
+	return out
+}
+
+// Close tears down the session; open streams receive FlowDegraded and are
+// closed.
+func (c *Client) Close() error { return c.sess.Close() }
+
+func (c *Client) removeStream(sid StreamID) {
+	c.mu.Lock()
+	delete(c.streams, sid)
+	c.mu.Unlock()
+}
+
+type clientHandler struct{ c *Client }
+
+func (h clientHandler) HandleFrame(f Frame) {
+	c := h.c
+	if f.Type != FrameBatch {
+		return // clients only receive batches
+	}
+	batch, err := DecodeBatch(f.Payload)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	st := c.streams[f.SID]
+	c.mu.Unlock()
+	if st == nil {
+		return // stream already cancelled; late batch
+	}
+	st.apply(batch.Deltas)
+}
+
+func (h clientHandler) HandleClose(err error) {
+	c := h.c
+	c.mu.Lock()
+	c.closed = true
+	streams := make([]*ClientStream, 0, len(c.streams))
+	for _, st := range c.streams {
+		streams = append(streams, st)
+	}
+	c.streams = make(map[StreamID]*ClientStream)
+	onClose := c.onClose
+	c.mu.Unlock()
+	for _, st := range streams {
+		st.sessionLost()
+	}
+	if onClose != nil {
+		onClose(err)
+	}
+}
+
+// apply processes one atomically delivered batch: rewrites update stored
+// state invisibly, terminations close the stream, and the remainder is
+// forwarded to the application.
+func (st *ClientStream) apply(deltas []Delta) {
+	visible := make([]Delta, 0, len(deltas))
+	terminate := false
+	st.mu.Lock()
+	if st.terminated {
+		st.mu.Unlock()
+		return
+	}
+	for _, d := range deltas {
+		switch d.Type {
+		case DeltaRewriteRequest:
+			if d.Header != nil {
+				st.sub.Header = d.Header.Clone()
+			}
+			if d.Body != nil {
+				st.sub.Body = append([]byte(nil), d.Body...)
+			}
+			if st.client.RelayRewrites {
+				visible = append(visible, d)
+			}
+		case DeltaPayload:
+			if d.Seq > st.lastSeq {
+				st.lastSeq = d.Seq
+			}
+			visible = append(visible, d)
+		case DeltaTermination:
+			terminate = true
+			visible = append(visible, d)
+		default:
+			visible = append(visible, d)
+		}
+	}
+	if terminate {
+		st.terminated = true
+	}
+	// Send while holding the lock: Cancel/sessionLost close Events only
+	// after setting terminated under the same lock, so this send can
+	// never race with the close. The send is non-blocking.
+	if len(visible) > 0 {
+		select {
+		case st.Events <- visible:
+		default:
+			st.client.Dropped.Inc()
+		}
+	}
+	st.mu.Unlock()
+
+	if terminate {
+		st.client.removeStream(st.sid)
+		close(st.Events)
+	}
+}
+
+// sessionLost delivers a synthetic degraded flow status and closes the
+// stream channel: the transport under every stream on the session is gone.
+func (st *ClientStream) sessionLost() {
+	st.mu.Lock()
+	if st.terminated {
+		st.mu.Unlock()
+		return
+	}
+	st.terminated = true
+	st.mu.Unlock()
+	select {
+	case st.Events <- []Delta{FlowStatusDelta(FlowDegraded, "session closed")}:
+	default:
+		st.client.Dropped.Inc()
+	}
+	close(st.Events)
+}

@@ -1,0 +1,278 @@
+package burst
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// ErrSessionClosed is returned when sending on a closed session.
+var ErrSessionClosed = errors.New("burst: session closed")
+
+// FrameHandler receives inbound frames and the session-closed notification.
+// HandleFrame is invoked from the session's single read goroutine, so
+// implementations observe frames in wire order.
+type FrameHandler interface {
+	HandleFrame(f Frame)
+	// HandleClose is invoked exactly once when the session dies; err is
+	// nil for a locally initiated close, io.EOF for a clean peer close.
+	HandleClose(err error)
+}
+
+// Session multiplexes BURST frames over one underlying byte transport.
+// Sends are safe for concurrent use. Ping frames are answered with Pong
+// automatically; pongs are surfaced to the optional PongListener for
+// keepalive tracking.
+type Session struct {
+	name string
+	rwc  io.ReadWriteCloser
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	handler FrameHandler
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+	onPong func()
+
+	done chan struct{}
+}
+
+// NewSession wraps rwc and starts the read loop. name is used in errors.
+// The handler must be non-nil.
+func NewSession(name string, rwc io.ReadWriteCloser, handler FrameHandler) *Session {
+	if handler == nil {
+		panic("burst: NewSession with nil handler")
+	}
+	s := &Session{
+		name:    name,
+		rwc:     rwc,
+		br:      frameReader(rwc),
+		bw:      bufio.NewWriterSize(rwc, 32<<10),
+		handler: handler,
+		done:    make(chan struct{}),
+	}
+	go s.readLoop()
+	return s
+}
+
+// Name returns the session's diagnostic name.
+func (s *Session) Name() string { return s.name }
+
+// Done is closed when the session has fully shut down.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err returns the error the session closed with (nil before close or for a
+// local close).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// SetPongListener registers fn to run on each received Pong.
+func (s *Session) SetPongListener(fn func()) {
+	s.mu.Lock()
+	s.onPong = fn
+	s.mu.Unlock()
+}
+
+// Send writes f to the peer. Frames from concurrent senders are serialized;
+// each frame is flushed immediately (streams are latency-sensitive).
+func (s *Session) Send(f Frame) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("session %s: %w", s.name, ErrSessionClosed)
+	}
+	s.mu.Unlock()
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := WriteFrame(s.bw, f); err != nil {
+		s.closeWith(err)
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.closeWith(err)
+		return err
+	}
+	return nil
+}
+
+// SendMsg encodes v as the payload of a frame of type t on stream sid.
+func (s *Session) SendMsg(t FrameType, sid StreamID, v any) error {
+	var payload []byte
+	if v != nil {
+		var err error
+		payload, err = EncodePayload(v)
+		if err != nil {
+			return err
+		}
+	}
+	return s.Send(Frame{Type: t, SID: sid, Payload: payload})
+}
+
+// Ping sends a liveness probe.
+func (s *Session) Ping() error { return s.Send(Frame{Type: FramePing}) }
+
+// Close shuts the session down locally. The handler's HandleClose runs with
+// a nil error.
+func (s *Session) Close() error {
+	s.closeWith(nil)
+	return nil
+}
+
+func (s *Session) closeWith(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.err = err
+	s.mu.Unlock()
+	_ = s.rwc.Close()
+}
+
+func (s *Session) readLoop() {
+	defer close(s.done)
+	for {
+		f, err := ReadFrame(s.br)
+		if err != nil {
+			s.mu.Lock()
+			alreadyClosed := s.closed
+			if !alreadyClosed {
+				s.closed = true
+				if !errors.Is(err, io.EOF) {
+					s.err = err
+				}
+			}
+			finalErr := s.err
+			s.mu.Unlock()
+			_ = s.rwc.Close()
+			if alreadyClosed {
+				finalErr = s.Err()
+			}
+			s.handler.HandleClose(finalErr)
+			return
+		}
+		switch f.Type {
+		case FramePing:
+			// Answer liveness probes inline.
+			_ = s.Send(Frame{Type: FramePong})
+		case FramePong:
+			s.mu.Lock()
+			fn := s.onPong
+			s.mu.Unlock()
+			if fn != nil {
+				fn()
+			}
+		default:
+			s.handler.HandleFrame(f)
+		}
+	}
+}
+
+// HandlerFuncs adapts plain functions to FrameHandler.
+type HandlerFuncs struct {
+	OnFrame func(Frame)
+	OnClose func(error)
+}
+
+// HandleFrame calls OnFrame when set.
+func (h HandlerFuncs) HandleFrame(f Frame) {
+	if h.OnFrame != nil {
+		h.OnFrame(f)
+	}
+}
+
+// HandleClose calls OnClose when set.
+func (h HandlerFuncs) HandleClose(err error) {
+	if h.OnClose != nil {
+		h.OnClose(err)
+	}
+}
+
+// Keepalive drives heartbeats on a session: it pings every interval and
+// closes the session if no pong arrives within timeout, providing the fast
+// failure detection the paper's footnote 11 describes (waiting for TCP to
+// notice takes too long).
+type Keepalive struct {
+	sess     *Session
+	sched    sim.Scheduler
+	interval time.Duration
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	cancel  func()
+	alive   bool
+}
+
+// StartKeepalive begins heartbeating sess. Call Stop to end it.
+func StartKeepalive(sess *Session, sched sim.Scheduler, interval, timeout time.Duration) *Keepalive {
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+	k := &Keepalive{sess: sess, sched: sched, interval: interval, timeout: timeout, alive: true}
+	sess.SetPongListener(func() {
+		k.mu.Lock()
+		k.alive = true
+		k.mu.Unlock()
+	})
+	k.schedule()
+	return k
+}
+
+func (k *Keepalive) schedule() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.stopped {
+		return
+	}
+	k.cancel = k.sched.After(k.interval, k.tick)
+}
+
+func (k *Keepalive) tick() {
+	k.mu.Lock()
+	stopped := k.stopped
+	// Mark not-alive before sending the ping: the pong may arrive on
+	// another goroutine before Ping even returns.
+	k.alive = false
+	k.mu.Unlock()
+	if stopped {
+		return
+	}
+	if err := k.sess.Ping(); err != nil {
+		return // session already dead
+	}
+	k.sched.After(k.timeout, func() {
+		k.mu.Lock()
+		dead := !k.alive && !k.stopped
+		k.mu.Unlock()
+		if dead {
+			k.sess.closeWith(fmt.Errorf("session %s: heartbeat timeout", k.sess.name))
+			return
+		}
+		k.schedule()
+	})
+}
+
+// Stop ends the keepalive without closing the session.
+func (k *Keepalive) Stop() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stopped = true
+	if k.cancel != nil {
+		k.cancel()
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/brass"
+	"bladerunner/internal/device"
+	"bladerunner/internal/edge"
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/sim"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Regions are the datacenter region labels.
+	Regions []string
+	// BRASSHostsPerRegion is the number of BRASS hosts in each region.
+	BRASSHostsPerRegion int
+	// ProxiesPerRegion is the number of reverse proxies per region.
+	ProxiesPerRegion int
+	// POPs is the number of edge points of presence.
+	POPs int
+	// KVNodesPerRegion backs Pylon's subscription store.
+	KVNodesPerRegion int
+	// KVReplicas is the subscription replication factor.
+	KVReplicas int
+	// Graph configures the synthetic social graph.
+	Graph socialgraph.Config
+	// TAO configures the graph store.
+	TAO tao.Config
+	// Pylon configures the pub/sub tier.
+	Pylon pylon.Config
+	// StickyRouting enables BRASS sticky-routing rewrites.
+	StickyRouting bool
+}
+
+// DefaultConfig returns a small but fully wired deployment: 2 regions, 2
+// BRASS hosts and 1 proxy per region, 2 POPs.
+func DefaultConfig() Config {
+	return Config{
+		Regions:             []string{"us-east", "eu-west"},
+		BRASSHostsPerRegion: 2,
+		ProxiesPerRegion:    1,
+		POPs:                2,
+		KVNodesPerRegion:    2,
+		KVReplicas:          3,
+		Graph:               socialgraph.DefaultConfig(),
+		TAO:                 tao.DefaultConfig(),
+		Pylon:               pylon.DefaultConfig(),
+		StickyRouting:       true,
+	}
+}
+
+// Cluster is a running Bladerunner deployment.
+type Cluster struct {
+	Cfg      Config
+	Net      *edge.PipeNetwork
+	Graph    *socialgraph.Graph
+	TAO      *tao.Store
+	KV       *kvstore.Cluster
+	Pylon    *pylon.Service
+	WAS      *was.Server
+	Apps     *apps.Suite
+	Registry *Registry
+	Hosts    []*brass.Host
+	Proxies  []*edge.Proxy
+	POPs     []*edge.Proxy
+	Sched    sim.Scheduler
+
+	popTargets []string
+}
+
+// NewCluster builds and wires a deployment. sched may be nil for the wall
+// clock.
+func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("core: need at least one region")
+	}
+	if cfg.BRASSHostsPerRegion < 1 || cfg.ProxiesPerRegion < 1 || cfg.POPs < 1 {
+		return nil, fmt.Errorf("core: need at least one BRASS host, proxy, and POP")
+	}
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+
+	graph, err := socialgraph.Generate(cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+	store, err := tao.NewStore(cfg.TAO, sched)
+	if err != nil {
+		return nil, err
+	}
+
+	// Subscription KV: nodes spread across regions.
+	var kvNodes []*kvstore.Node
+	for _, region := range cfg.Regions {
+		for i := 0; i < cfg.KVNodesPerRegion; i++ {
+			kvNodes = append(kvNodes, kvstore.NewNode(
+				fmt.Sprintf("kv-%s-%d", region, i), region))
+		}
+	}
+	replicas := cfg.KVReplicas
+	if replicas > len(kvNodes) {
+		replicas = len(kvNodes)
+	}
+	kv, err := kvstore.NewCluster(kvNodes, replicas)
+	if err != nil {
+		return nil, err
+	}
+	pyl, err := pylon.New(cfg.Pylon, kv)
+	if err != nil {
+		return nil, err
+	}
+
+	w := was.New(store, graph, pyl, sched)
+	suite := apps.NewSuite(w)
+
+	c := &Cluster{
+		Cfg:      cfg,
+		Net:      edge.NewPipeNetwork(),
+		Graph:    graph,
+		TAO:      store,
+		KV:       kv,
+		Pylon:    pyl,
+		WAS:      w,
+		Apps:     suite,
+		Registry: NewRegistry(),
+		Sched:    sched,
+	}
+
+	// BRASS hosts, registered on the network and with Pylon.
+	brassByRegion := make(map[string][]string)
+	for _, region := range cfg.Regions {
+		for i := 0; i < cfg.BRASSHostsPerRegion; i++ {
+			id := fmt.Sprintf("brass-%s-%d", region, i)
+			h := brass.NewHost(brass.HostConfig{
+				ID: id, Region: region, StickyRouting: cfg.StickyRouting,
+			}, pyl, w, sched)
+			suite.RegisterBRASS(h)
+			c.Hosts = append(c.Hosts, h)
+			brassByRegion[region] = append(brassByRegion[region], id)
+			host := h
+			c.Net.Register(id, func(rwc io.ReadWriteCloser) {
+				host.AcceptSession(id+"-in", rwc)
+			})
+			c.Registry.Set("brass/"+id+"/region", region)
+		}
+	}
+
+	// Reverse proxies: route streams to BRASS hosts in their region,
+	// honoring sticky headers.
+	var proxyTargets []string
+	for _, region := range cfg.Regions {
+		for i := 0; i < cfg.ProxiesPerRegion; i++ {
+			id := fmt.Sprintf("proxy-%s-%d", region, i)
+			router := edge.StickyRouter{
+				Fallback: edge.NewRoundRobinRouter(brassByRegion[region]...),
+			}
+			p := edge.NewProxy(id, c.Net, router)
+			c.Proxies = append(c.Proxies, p)
+			proxyTargets = append(proxyTargets, id)
+			c.Net.Register(id, p.Accept)
+		}
+	}
+
+	// POPs: route to reverse proxies.
+	for i := 0; i < cfg.POPs; i++ {
+		id := fmt.Sprintf("pop-%d", i)
+		p := edge.NewProxy(id, c.Net, edge.NewRoundRobinRouter(proxyTargets...))
+		c.POPs = append(c.POPs, p)
+		c.popTargets = append(c.popTargets, id)
+		c.Net.Register(id, p.Accept)
+	}
+	return c, nil
+}
+
+// MustNewCluster is NewCluster that panics on error.
+func MustNewCluster(cfg Config, sched sim.Scheduler) *Cluster {
+	c, err := NewCluster(cfg, sched)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// POPTargets returns the dialable POP names for devices.
+func (c *Cluster) POPTargets() []string {
+	return append([]string(nil), c.popTargets...)
+}
+
+// NewDevice builds a device for user wired to this cluster's POPs.
+func (c *Cluster) NewDevice(user socialgraph.UserID) *device.Device {
+	return device.New(device.Config{
+		User: user,
+		POPs: c.POPTargets(),
+	}, c.Net, c.WAS, c.Sched)
+}
+
+// Close tears the deployment down: POPs, proxies, then hosts.
+func (c *Cluster) Close() {
+	for _, p := range c.POPs {
+		p.Close()
+	}
+	for _, p := range c.Proxies {
+		p.Close()
+	}
+	for _, h := range c.Hosts {
+		h.Close()
+	}
+}
+
+// TotalDecisions sums delivery decisions across all BRASS hosts.
+func (c *Cluster) TotalDecisions() int64 {
+	var total int64
+	for _, h := range c.Hosts {
+		total += h.Decisions.Value()
+	}
+	return total
+}
+
+// TotalDeliveries sums update deliveries across all BRASS hosts.
+func (c *Cluster) TotalDeliveries() int64 {
+	var total int64
+	for _, h := range c.Hosts {
+		total += h.Deliveries.Value()
+	}
+	return total
+}
+
+// Quiesce drains every BRASS host's event loops (tests).
+func (c *Cluster) Quiesce() {
+	for _, h := range c.Hosts {
+		h.Quiesce()
+	}
+}

@@ -1,0 +1,74 @@
+// Package core assembles a complete Bladerunner deployment: the social
+// graph, TAO, the subscription KV cluster, Pylon, the WAS tier, BRASS
+// hosts across regions, reverse proxies, and POPs — wired over an
+// in-process network. It is the entry point the examples and the end-to-end
+// tests use, and it includes the ZooKeeper-style configuration registry the
+// paper stores BRASS placement and routing policy in (§3.2).
+package core
+
+import (
+	"sync"
+)
+
+// Registry is a watchable key-value configuration store, standing in for
+// ZooKeeper: application → BRASS placement, routing policy, and isolation
+// configuration live here.
+type Registry struct {
+	mu       sync.Mutex
+	data     map[string]string
+	watchers map[string][]chan string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		data:     make(map[string]string),
+		watchers: make(map[string][]chan string),
+	}
+}
+
+// Set stores key=value and notifies watchers (non-blocking).
+func (r *Registry) Set(key, value string) {
+	r.mu.Lock()
+	r.data[key] = value
+	watchers := append([]chan string(nil), r.watchers[key]...)
+	r.mu.Unlock()
+	for _, ch := range watchers {
+		select {
+		case ch <- value:
+		default: // watcher is slow; it will re-read on next notification
+		}
+	}
+}
+
+// Get returns the value and whether it exists.
+func (r *Registry) Get(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.data[key]
+	return v, ok
+}
+
+// GetDefault returns the value or def when absent.
+func (r *Registry) GetDefault(key, def string) string {
+	if v, ok := r.Get(key); ok {
+		return v
+	}
+	return def
+}
+
+// Watch returns a channel receiving future values of key.
+func (r *Registry) Watch(key string) <-chan string {
+	ch := make(chan string, 4)
+	r.mu.Lock()
+	r.watchers[key] = append(r.watchers[key], ch)
+	r.mu.Unlock()
+	return ch
+}
+
+// Keys returns the number of stored keys.
+func (r *Registry) Keys() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.data)
+}

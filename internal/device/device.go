@@ -1,0 +1,454 @@
+// Package device simulates client devices: phones and browsers that issue
+// initial GraphQL queries to a WAS, open BURST request-streams through a
+// POP, render pushed updates, and recover from connection failures by
+// re-dialing and resubscribing with each stream's stored (possibly
+// rewritten) request — the device side of the paper's failure axioms (§4).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bladerunner/internal/burst"
+	"bladerunner/internal/edge"
+	"bladerunner/internal/metrics"
+	"bladerunner/internal/sim"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/was"
+)
+
+// ErrNotConnected is returned when subscribing while disconnected.
+var ErrNotConnected = errors.New("device: not connected")
+
+// Config parameterizes a Device.
+type Config struct {
+	// User is the identity streams subscribe as.
+	User socialgraph.UserID
+	// POPs are the edge targets the device can connect through, in
+	// preference order. On failure it rotates to the next.
+	POPs []string
+	// ReconnectDelay is the pause before a reconnection attempt.
+	ReconnectDelay time.Duration
+	// MaxStreams caps concurrent request-streams (browser tabs allow up
+	// to 60, mobile apps up to 20 per the paper). 0 = unlimited.
+	MaxStreams int
+}
+
+// Device is one simulated client.
+type Device struct {
+	cfg    Config
+	dialer edge.Dialer
+	was    *was.Server
+	sched  sim.Scheduler
+
+	mu        sync.Mutex
+	client    *burst.Client
+	popIdx    int
+	streams   map[*Stream]bool
+	closed    bool
+	connected bool
+
+	// Metrics.
+	Updates      metrics.Counter
+	FlowEvents   metrics.Counter
+	Reconnects   metrics.Counter
+	Polls        metrics.Counter
+	Resubscribes metrics.Counter
+}
+
+// Stream is one application-level subscription held by the device. Its
+// channels survive reconnections: the device resubscribes transparently and
+// keeps feeding the same Updates channel.
+type Stream struct {
+	dev *Device
+
+	// Updates carries payload deltas across reconnects. Closed only when
+	// the stream is cancelled or terminated by the server.
+	Updates chan burst.Delta
+	// Flow carries flow_status events (degraded/recovered/rerouted) so
+	// the app can show connectivity state. Best-effort (drops if full).
+	Flow chan burst.FlowCode
+
+	mu     sync.Mutex
+	cur    *burst.ClientStream
+	req    burst.Subscribe
+	closed bool
+	seq    uint64 // last payload seq seen
+}
+
+// New builds a device. dialer reaches POP targets; wasrv serves the initial
+// queries and mutations ("HTTP" in production, a direct call here).
+func New(cfg Config, dialer edge.Dialer, wasrv *was.Server, sched sim.Scheduler) *Device {
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+	if cfg.ReconnectDelay <= 0 {
+		cfg.ReconnectDelay = 50 * time.Millisecond
+	}
+	return &Device{
+		cfg:     cfg,
+		dialer:  dialer,
+		was:     wasrv,
+		sched:   sched,
+		streams: make(map[*Stream]bool),
+	}
+}
+
+// Connect dials the current POP and starts the session.
+func (d *Device) Connect() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("device: closed")
+	}
+	if d.connected {
+		d.mu.Unlock()
+		return nil
+	}
+	pop := d.cfg.POPs[d.popIdx%len(d.cfg.POPs)]
+	d.mu.Unlock()
+
+	rwc, err := d.dialer.Dial(pop)
+	if err != nil {
+		d.mu.Lock()
+		d.popIdx++ // try another POP next time
+		d.mu.Unlock()
+		return fmt.Errorf("device: dial %s: %w", pop, err)
+	}
+	cli := burst.NewClient(fmt.Sprintf("device-%d", d.cfg.User), rwc, func(error) {
+		d.onSessionLost()
+	})
+	d.mu.Lock()
+	d.client = cli
+	d.connected = true
+	d.mu.Unlock()
+	return nil
+}
+
+// Connected reports whether a session is up.
+func (d *Device) Connected() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.connected
+}
+
+// Close tears the device down; all streams close.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	cli := d.client
+	streams := make([]*Stream, 0, len(d.streams))
+	for st := range d.streams {
+		streams = append(streams, st)
+	}
+	d.streams = make(map[*Stream]bool)
+	d.mu.Unlock()
+	if cli != nil {
+		_ = cli.Close()
+	}
+	for _, st := range streams {
+		st.shutdown()
+	}
+}
+
+// Query issues an initial GraphQL read to the WAS (step 1 of Fig 3).
+func (d *Device) Query(expr string) ([]byte, error) {
+	d.Polls.Inc()
+	return d.was.Query(d.cfg.User, expr)
+}
+
+// Mutate issues a GraphQL mutation to the WAS (Fig 4).
+func (d *Device) Mutate(expr string) ([]byte, error) {
+	return d.was.Mutate(d.cfg.User, expr)
+}
+
+// Subscribe opens a request-stream for app with the given subscription
+// expression and optional extra header fields.
+func (d *Device) Subscribe(app, subscription string, extra burst.Header) (*Stream, error) {
+	d.mu.Lock()
+	if !d.connected || d.client == nil {
+		d.mu.Unlock()
+		return nil, ErrNotConnected
+	}
+	if d.cfg.MaxStreams > 0 && len(d.streams) >= d.cfg.MaxStreams {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("device: stream cap %d reached", d.cfg.MaxStreams)
+	}
+	cli := d.client
+	d.mu.Unlock()
+
+	header := burst.Header{
+		burst.HdrApp:          app,
+		burst.HdrSubscription: subscription,
+		burst.HdrUser:         fmt.Sprintf("%d", d.cfg.User),
+	}
+	for k, v := range extra {
+		header[k] = v
+	}
+	st := &Stream{
+		dev:     d,
+		Updates: make(chan burst.Delta, 256),
+		Flow:    make(chan burst.FlowCode, 16),
+		req:     burst.Subscribe{Header: header},
+	}
+	cs, err := cli.Subscribe(st.req)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	st.cur = cs
+	st.mu.Unlock()
+
+	d.mu.Lock()
+	d.streams[st] = true
+	d.mu.Unlock()
+	go st.pump(cs)
+	return st, nil
+}
+
+// Streams returns the number of open streams.
+func (d *Device) Streams() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.streams)
+}
+
+// onSessionLost runs when the BURST session dies: schedule a reconnect that
+// rotates POPs and resubscribes every stream with its stored request.
+func (d *Device) onSessionLost() {
+	d.mu.Lock()
+	d.connected = false
+	d.client = nil
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return
+	}
+	d.sched.After(d.cfg.ReconnectDelay, d.reconnect)
+}
+
+func (d *Device) reconnect() {
+	d.mu.Lock()
+	if d.closed || d.connected {
+		d.mu.Unlock()
+		return
+	}
+	d.popIdx++ // prefer an alternate POP after a failure
+	d.mu.Unlock()
+
+	if err := d.Connect(); err != nil {
+		d.sched.After(d.cfg.ReconnectDelay, d.reconnect)
+		return
+	}
+	d.Reconnects.Inc()
+
+	d.mu.Lock()
+	cli := d.client
+	streams := make([]*Stream, 0, len(d.streams))
+	for st := range d.streams {
+		streams = append(streams, st)
+	}
+	d.mu.Unlock()
+
+	for _, st := range streams {
+		st.resubscribe(cli)
+	}
+}
+
+// resubscribe reopens the stream on a fresh session using the stored
+// (possibly rewritten) request.
+func (st *Stream) resubscribe(cli *burst.Client) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	// Snapshot the request from the dead client stream: it holds the
+	// latest rewritten state even though its session is gone.
+	if st.cur != nil {
+		st.req = st.cur.Request()
+	}
+	req := st.req
+	st.mu.Unlock()
+
+	cs, err := cli.Resubscribe(req)
+	if err != nil {
+		return // session died again; the next reconnect retries
+	}
+	st.dev.Resubscribes.Inc()
+	st.mu.Lock()
+	st.cur = cs
+	st.mu.Unlock()
+	st.pushFlow(burst.FlowRecovered)
+	go st.pump(cs)
+}
+
+// pump forwards one underlying client stream's batches into the persistent
+// channels. It returns when that client stream ends; reconnection starts a
+// new pump.
+func (st *Stream) pump(cs *burst.ClientStream) {
+	for batch := range cs.Events {
+		for _, delta := range batch {
+			switch delta.Type {
+			case burst.DeltaPayload:
+				st.mu.Lock()
+				if delta.Seq > st.seq {
+					st.seq = delta.Seq
+				}
+				if !st.closed {
+					st.dev.Updates.Inc()
+					select {
+					case st.Updates <- delta:
+					default: // device is slow; best-effort drop
+					}
+				}
+				st.mu.Unlock()
+			case burst.DeltaFlowStatus:
+				st.dev.FlowEvents.Inc()
+				st.pushFlow(delta.Flow)
+			case burst.DeltaTermination:
+				st.terminate()
+				return
+			}
+		}
+		// Keep the stored request in sync with rewrites (the BURST
+		// client applies them to cs's copy).
+		st.mu.Lock()
+		st.req = cs.Request()
+		st.mu.Unlock()
+	}
+	// Channel closed without termination: session loss. The device-level
+	// reconnect will resubscribe us; nothing to do here.
+}
+
+func (st *Stream) pushFlow(code burst.FlowCode) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	select {
+	case st.Flow <- code:
+	default:
+	}
+}
+
+// LastSeq returns the highest payload sequence number received.
+func (st *Stream) LastSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
+// Request returns the stream's current stored request, including any
+// rewrites the serving BRASS has applied.
+func (st *Stream) Request() burst.Subscribe {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cur != nil {
+		return st.cur.Request()
+	}
+	return st.req
+}
+
+// Cancel ends the stream from the device side.
+func (st *Stream) Cancel(reason string) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	cur := st.cur
+	st.mu.Unlock()
+	if cur != nil {
+		_ = cur.Cancel(reason)
+	}
+	st.dev.dropStream(st)
+	close(st.Updates)
+	close(st.Flow)
+}
+
+// terminate handles a server-side termination delta.
+func (st *Stream) terminate() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.mu.Unlock()
+	st.dev.dropStream(st)
+	close(st.Updates)
+	close(st.Flow)
+}
+
+// shutdown closes channels on device teardown.
+func (st *Stream) shutdown() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.mu.Unlock()
+	close(st.Updates)
+	close(st.Flow)
+}
+
+func (d *Device) dropStream(st *Stream) {
+	d.mu.Lock()
+	delete(d.streams, st)
+	d.mu.Unlock()
+}
+
+// StartPresence begins the periodic ONLINE report the paper's ActiveStatus
+// application expects from devices ("each device updates the client's
+// status to ONLINE with the WAS every 30 seconds when online"). It returns
+// a stop function. Reports cease automatically when the device is closed.
+func (d *Device) StartPresence(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	var (
+		mu      sync.Mutex
+		stopped bool
+		cancel  func()
+	)
+	var tick func()
+	schedule := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return
+		}
+		cancel = d.sched.After(interval, tick)
+	}
+	tick = func() {
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			return
+		}
+		_, _ = d.Mutate("reportActive")
+		schedule()
+	}
+	// First report immediately: coming online is itself a report.
+	_, _ = d.Mutate("reportActive")
+	schedule()
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopped = true
+		if cancel != nil {
+			cancel()
+		}
+	}
+}

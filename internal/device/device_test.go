@@ -1,0 +1,351 @@
+package device
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"bladerunner/internal/burst"
+	"bladerunner/internal/edge"
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// fakePOP is a scripted BURST endpoint registered as a POP target.
+type fakePOP struct {
+	name string
+
+	mu       sync.Mutex
+	streams  []*burst.ServerStream
+	cancels  int
+	sessions []*burst.ServerSession
+}
+
+func (f *fakePOP) accept(rwc io.ReadWriteCloser) {
+	var ss *burst.ServerSession
+	ss = burst.NewServerSession(f.name, rwc, burst.ServerHandlerFuncs{
+		Subscribe: func(st *burst.ServerStream, sub burst.Subscribe) {
+			f.mu.Lock()
+			f.streams = append(f.streams, st)
+			f.mu.Unlock()
+		},
+		Cancel: func(st *burst.ServerStream, c burst.Cancel) {
+			f.mu.Lock()
+			f.cancels++
+			f.mu.Unlock()
+		},
+	})
+	f.mu.Lock()
+	f.sessions = append(f.sessions, ss)
+	f.mu.Unlock()
+}
+
+func (f *fakePOP) stream(i int) *burst.ServerStream {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if i >= len(f.streams) {
+		return nil
+	}
+	return f.streams[i]
+}
+
+func (f *fakePOP) kill() {
+	f.mu.Lock()
+	ss := append([]*burst.ServerSession(nil), f.sessions...)
+	f.sessions = nil
+	f.mu.Unlock()
+	for _, s := range ss {
+		_ = s.Close()
+	}
+}
+
+func newWAS(t *testing.T) *was.Server {
+	t.Helper()
+	nodes := []*kvstore.Node{
+		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
+	}
+	pyl := pylon.MustNew(pylon.DefaultConfig(), kvstore.MustNewCluster(nodes, 3))
+	store := tao.MustNewStore(tao.DefaultConfig(), nil)
+	graph := socialgraph.MustGenerate(socialgraph.Config{Users: 20, MeanFriends: 3, Seed: 1})
+	return was.New(store, graph, pyl, nil)
+}
+
+type devEnv struct {
+	net  *edge.PipeNetwork
+	popA *fakePOP
+	popB *fakePOP
+	dev  *Device
+}
+
+func newDevEnv(t *testing.T) *devEnv {
+	t.Helper()
+	n := edge.NewPipeNetwork()
+	a, b := &fakePOP{name: "pop-a"}, &fakePOP{name: "pop-b"}
+	n.Register("pop-a", a.accept)
+	n.Register("pop-b", b.accept)
+	d := New(Config{
+		User:           7,
+		POPs:           []string{"pop-a", "pop-b"},
+		ReconnectDelay: 5 * time.Millisecond,
+	}, n, newWAS(t), nil)
+	t.Cleanup(d.Close)
+	return &devEnv{net: n, popA: a, popB: b, dev: d}
+}
+
+func TestSubscribeRequiresConnection(t *testing.T) {
+	env := newDevEnv(t)
+	if _, err := env.dev.Subscribe("app", "s", nil); err != ErrNotConnected {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConnectSubscribeReceive(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if !env.dev.Connected() {
+		t.Fatal("not connected")
+	}
+	st, err := env.dev.Subscribe("lvc", "liveVideoComments(videoID: 3)", burst.Header{"x": "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pop stream", func() bool { return env.popA.stream(0) != nil })
+	req := env.popA.stream(0).Request()
+	if req.Header[burst.HdrApp] != "lvc" || req.Header[burst.HdrUser] != "7" || req.Header["x"] != "y" {
+		t.Errorf("header = %+v", req.Header)
+	}
+	if err := env.popA.stream(0).SendBatch(burst.PayloadDelta(4, []byte("c1"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-st.Updates:
+		if string(d.Payload) != "c1" || d.Seq != 4 {
+			t.Errorf("delta = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update")
+	}
+	if st.LastSeq() != 4 {
+		t.Errorf("LastSeq = %d", st.LastSeq())
+	}
+	if env.dev.Updates.Value() != 1 {
+		t.Errorf("Updates = %d", env.dev.Updates.Value())
+	}
+}
+
+func TestMaxStreams(t *testing.T) {
+	n := edge.NewPipeNetwork()
+	pop := &fakePOP{name: "pop"}
+	n.Register("pop", pop.accept)
+	d := New(Config{User: 1, POPs: []string{"pop"}, MaxStreams: 2}, n, newWAS(t), nil)
+	defer d.Close()
+	if err := d.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Subscribe("a", "s", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Subscribe("a", "s", nil); err == nil {
+		t.Error("stream cap not enforced")
+	}
+	if d.Streams() != 2 {
+		t.Errorf("Streams = %d", d.Streams())
+	}
+}
+
+func TestReconnectRotatesPOPAndResubscribes(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := env.dev.Subscribe("lvc", "sub", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stream on pop-a", func() bool { return env.popA.stream(0) != nil })
+
+	// The serving side rewrites a resume token into the request.
+	if err := env.popA.stream(0).RewriteHeaderField(burst.HdrResumeSeq, "12"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rewrite stored", func() bool {
+		return st.Request().Header[burst.HdrResumeSeq] == "12"
+	})
+
+	env.popA.kill() // POP fails
+
+	// Device reconnects (rotating to pop-b) and resubscribes with the
+	// rewritten request.
+	waitFor(t, "resubscribed on pop-b", func() bool { return env.popB.stream(0) != nil })
+	req := env.popB.stream(0).Request()
+	if req.Header[burst.HdrResumeSeq] != "12" {
+		t.Errorf("resubscribe lost rewrite: %+v", req.Header)
+	}
+	if env.dev.Reconnects.Value() != 1 || env.dev.Resubscribes.Value() != 1 {
+		t.Errorf("reconnects=%d resubs=%d", env.dev.Reconnects.Value(), env.dev.Resubscribes.Value())
+	}
+	// Flow channel observed recovery.
+	select {
+	case code := <-st.Flow:
+		if code != burst.FlowDegraded && code != burst.FlowRecovered {
+			t.Errorf("flow = %v", code)
+		}
+	case <-time.After(time.Second):
+		t.Error("no flow event after reconnect")
+	}
+	// Stream still delivers.
+	if err := env.popB.stream(0).SendBatch(burst.PayloadDelta(13, []byte("after"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-st.Updates:
+		if string(d.Payload) != "after" {
+			t.Errorf("payload = %q", d.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update after reconnect")
+	}
+}
+
+func TestCancelClosesChannelsAndNotifiesServer(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := env.dev.Subscribe("a", "s", nil)
+	waitFor(t, "stream", func() bool { return env.popA.stream(0) != nil })
+	st.Cancel("done")
+	waitFor(t, "server cancel", func() bool {
+		env.popA.mu.Lock()
+		defer env.popA.mu.Unlock()
+		return env.popA.cancels == 1
+	})
+	if _, ok := <-st.Updates; ok {
+		t.Error("Updates open after cancel")
+	}
+	if env.dev.Streams() != 0 {
+		t.Errorf("Streams = %d", env.dev.Streams())
+	}
+	st.Cancel("again") // idempotent
+}
+
+func TestServerTerminationClosesStream(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := env.dev.Subscribe("a", "s", nil)
+	waitFor(t, "stream", func() bool { return env.popA.stream(0) != nil })
+	_ = env.popA.stream(0).Terminate("bye")
+	waitFor(t, "stream closed", func() bool { return env.dev.Streams() == 0 })
+	for range st.Updates {
+	} // drains and exits: channel closed
+}
+
+func TestQueryAndMutateHitWAS(t *testing.T) {
+	env := newDevEnv(t)
+	w := env.dev.was
+	w.RegisterQuery("ping", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		return "pong", nil
+	})
+	w.RegisterMutation("set", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		return ctx.Viewer, nil
+	})
+	out, err := env.dev.Query("ping")
+	if err != nil || string(out) != `"pong"` {
+		t.Errorf("query = %s, %v", out, err)
+	}
+	out, err = env.dev.Mutate("set")
+	if err != nil || string(out) != "7" {
+		t.Errorf("mutate = %s, %v", out, err)
+	}
+	if env.dev.Polls.Value() != 1 {
+		t.Errorf("Polls = %d", env.dev.Polls.Value())
+	}
+}
+
+func TestDialFailureRotatesPOP(t *testing.T) {
+	env := newDevEnv(t)
+	env.net.SetDown("pop-a", true)
+	if err := env.dev.Connect(); err == nil {
+		t.Fatal("dial to down pop succeeded")
+	}
+	// Second attempt goes to pop-b.
+	if err := env.dev.Connect(); err != nil {
+		t.Fatalf("second connect: %v", err)
+	}
+	if !env.dev.Connected() {
+		t.Error("not connected after rotation")
+	}
+}
+
+func TestCloseIsFinal(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := env.dev.Subscribe("a", "s", nil)
+	env.dev.Close()
+	if _, ok := <-st.Updates; ok {
+		t.Error("stream open after device close")
+	}
+	if err := env.dev.Connect(); err == nil {
+		t.Error("connect after close succeeded")
+	}
+	env.dev.Close() // idempotent
+}
+
+func TestStartPresenceReportsPeriodically(t *testing.T) {
+	env := newDevEnv(t)
+	w := env.dev.was
+	var mu sync.Mutex
+	reports := 0
+	w.RegisterMutation("reportActive", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
+		mu.Lock()
+		reports++
+		mu.Unlock()
+		return true, nil
+	})
+	stop := env.dev.StartPresence(10 * time.Millisecond)
+	waitFor(t, "several reports", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return reports >= 3
+	})
+	stop()
+	mu.Lock()
+	at := reports
+	mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	after := reports
+	mu.Unlock()
+	if after > at+1 { // one in-flight tick may land after stop
+		t.Errorf("reports continued after stop: %d -> %d", at, after)
+	}
+	// Device close also ends reporting without panics.
+	stop2 := env.dev.StartPresence(5 * time.Millisecond)
+	defer stop2()
+	env.dev.Close()
+	time.Sleep(30 * time.Millisecond)
+}

@@ -1,0 +1,116 @@
+// Package edge implements the stream-routing path between devices and
+// BRASS hosts: POPs (points of presence) at the network edge and reverse
+// proxies at the datacenter edge (paper §3.5, §4). Both are instances of
+// the same Proxy type — a stream-level BURST relay that:
+//
+//   - routes each request-stream independently to an upstream chosen by a
+//     pluggable Router (topic-based, load-based, or sticky);
+//   - keeps a copy of each stream's current subscription request, updated
+//     as rewrite deltas pass through, so it can repair streams after an
+//     upstream failure (axiom 2 of §4);
+//   - propagates flow_status deltas downstream so every participant learns
+//     about failures and recoveries (axiom 1);
+//   - garbage-collects stream state when the stream terminates or the
+//     downstream connection dies.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Dialer opens a byte transport to a named upstream target.
+type Dialer interface {
+	Dial(target string) (io.ReadWriteCloser, error)
+}
+
+// ErrNoRoute is returned when a router cannot place a stream.
+var ErrNoRoute = errors.New("edge: no route for stream")
+
+// ErrUnknownTarget is returned when dialing an unregistered target.
+var ErrUnknownTarget = errors.New("edge: unknown target")
+
+// PipeNetwork is an in-process "network": targets register an accept
+// callback, and Dial hands them one end of a net.Pipe. It stands in for
+// the datacenter fabric in tests, examples, and the live cluster.
+type PipeNetwork struct {
+	mu      sync.Mutex
+	targets map[string]func(io.ReadWriteCloser)
+	down    map[string]bool
+	dials   map[string]int
+}
+
+// NewPipeNetwork returns an empty network.
+func NewPipeNetwork() *PipeNetwork {
+	return &PipeNetwork{
+		targets: make(map[string]func(io.ReadWriteCloser)),
+		down:    make(map[string]bool),
+		dials:   make(map[string]int),
+	}
+}
+
+// Register makes target dialable; accept receives the server end of each
+// new connection.
+func (n *PipeNetwork) Register(target string, accept func(io.ReadWriteCloser)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.targets[target] = accept
+}
+
+// Unregister removes a target (host decommissioned).
+func (n *PipeNetwork) Unregister(target string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.targets, target)
+}
+
+// SetDown marks a target unreachable without unregistering it (failure
+// injection: the host exists but connections fail).
+func (n *PipeNetwork) SetDown(target string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[target] = down
+}
+
+// Dial implements Dialer.
+func (n *PipeNetwork) Dial(target string) (io.ReadWriteCloser, error) {
+	n.mu.Lock()
+	accept, ok := n.targets[target]
+	isDown := n.down[target]
+	if ok && !isDown {
+		n.dials[target]++
+	}
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, target)
+	}
+	if isDown {
+		return nil, fmt.Errorf("edge: target %q unreachable", target)
+	}
+	c, s := net.Pipe()
+	accept(s)
+	return c, nil
+}
+
+// Targets returns the registered target names.
+func (n *PipeNetwork) Targets() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.targets))
+	for t := range n.targets {
+		out = append(out, t)
+	}
+	return out
+}
+
+// DialCount reports how many successful dials target has received.
+func (n *PipeNetwork) DialCount(target string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dials[target]
+}
+
+var _ Dialer = (*PipeNetwork)(nil)

@@ -1,0 +1,391 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"bladerunner/internal/burst"
+	"bladerunner/internal/metrics"
+)
+
+// Proxy is a stream-level BURST relay. POPs and datacenter reverse proxies
+// are both Proxies; they differ only in name, dialer, and router. Streams
+// are relayed independently: each downstream request-stream maps to one
+// upstream request-stream, with the proxy holding the stream's current
+// subscription request for repair.
+type Proxy struct {
+	name   string
+	dialer Dialer
+	router Router
+	// MaxRepairAttempts bounds reconnection attempts per failure before
+	// the proxy gives up and terminates the stream downstream.
+	MaxRepairAttempts int
+
+	mu        sync.Mutex
+	upstreams map[string]*upstream
+	relays    map[*relay]bool
+	downs     map[*burst.ServerSession]bool
+	closed    bool
+
+	// Metrics.
+	StreamsRelayed  metrics.Counter
+	ActiveStreams   metrics.Gauge
+	Reconnects      metrics.Counter // proxy-induced stream reconnects (Fig 10)
+	RepairFailures  metrics.Counter
+	RewritesRelayed metrics.Counter
+	DownstreamDrops metrics.Counter
+}
+
+type upstream struct {
+	target string
+	client *burst.Client
+}
+
+// NewProxy builds a proxy that routes with router and connects with dialer.
+func NewProxy(name string, dialer Dialer, router Router) *Proxy {
+	return &Proxy{
+		name:              name,
+		dialer:            dialer,
+		router:            router,
+		MaxRepairAttempts: 3,
+		upstreams:         make(map[string]*upstream),
+		relays:            make(map[*relay]bool),
+		downs:             make(map[*burst.ServerSession]bool),
+	}
+}
+
+// Name returns the proxy's diagnostic name.
+func (p *Proxy) Name() string { return p.name }
+
+// AcceptSession attaches a downstream BURST transport (a device or a
+// downstream proxy).
+func (p *Proxy) AcceptSession(name string, rwc io.ReadWriteCloser) *burst.ServerSession {
+	var ss *burst.ServerSession
+	ss = burst.NewServerSession(name, rwc, proxyHandler{p: p, sess: func() *burst.ServerSession { return ss }})
+	p.mu.Lock()
+	p.downs[ss] = true
+	p.mu.Unlock()
+	return ss
+}
+
+// Accept is the io-only form used with PipeNetwork.Register.
+func (p *Proxy) Accept(rwc io.ReadWriteCloser) { p.AcceptSession(p.name+"-downstream", rwc) }
+
+// ActiveRelays returns the number of live relayed streams.
+func (p *Proxy) ActiveRelays() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.relays)
+}
+
+// Close simulates the proxy machine dying: every session it terminates —
+// upstream and downstream — is severed, so neighbours detect the failure
+// and run their own recovery (devices reconnect to another POP; POPs
+// re-route streams to another proxy).
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	ups := make([]*upstream, 0, len(p.upstreams))
+	for _, u := range p.upstreams {
+		ups = append(ups, u)
+	}
+	p.upstreams = make(map[string]*upstream)
+	downs := make([]*burst.ServerSession, 0, len(p.downs))
+	for ss := range p.downs {
+		downs = append(downs, ss)
+	}
+	p.downs = make(map[*burst.ServerSession]bool)
+	p.mu.Unlock()
+	for _, u := range ups {
+		_ = u.client.Close()
+	}
+	for _, ss := range downs {
+		_ = ss.Close()
+	}
+}
+
+// upstreamFor returns (dialing if necessary) the shared client session to
+// target.
+func (p *Proxy) upstreamFor(target string) (*upstream, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("edge: proxy %s closed", p.name)
+	}
+	if u, ok := p.upstreams[target]; ok {
+		p.mu.Unlock()
+		return u, nil
+	}
+	p.mu.Unlock()
+
+	rwc, err := p.dialer.Dial(target)
+	if err != nil {
+		return nil, err
+	}
+	u := &upstream{target: target}
+	u.client = burst.NewClient(fmt.Sprintf("%s->%s", p.name, target), rwc, func(error) {
+		// Upstream session died: drop it from the pool so the next
+		// subscribe re-dials. Individual relays learn via their
+		// stream channels and repair themselves.
+		p.mu.Lock()
+		if p.upstreams[target] == u {
+			delete(p.upstreams, target)
+		}
+		p.mu.Unlock()
+	})
+	u.client.RelayRewrites = true
+
+	p.mu.Lock()
+	if existing, ok := p.upstreams[target]; ok {
+		// Lost a race; use the winner and drop ours.
+		p.mu.Unlock()
+		_ = u.client.Close()
+		return existing, nil
+	}
+	p.upstreams[target] = u
+	p.mu.Unlock()
+	return u, nil
+}
+
+// relay is the per-stream state machine.
+type relay struct {
+	p    *Proxy
+	down *burst.ServerStream
+
+	mu     sync.Mutex
+	req    burst.Subscribe // current stored request (kept fresh on rewrites)
+	up     *burst.ClientStream
+	target string
+	done   bool
+}
+
+func (r *relay) setDone() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return false
+	}
+	r.done = true
+	return true
+}
+
+func (r *relay) isDone() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// connect routes and subscribes the relay's current request upstream.
+func (r *relay) connect(avoid map[string]bool) error {
+	r.mu.Lock()
+	req := r.req
+	r.mu.Unlock()
+	target, err := r.p.router.Route(req, avoid)
+	if err != nil {
+		return err
+	}
+	u, err := r.p.upstreamFor(target)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", target, err)
+	}
+	st, err := u.client.Subscribe(req)
+	if err != nil {
+		return fmt.Errorf("subscribe via %s: %w", target, err)
+	}
+	r.mu.Lock()
+	r.up = st
+	r.target = target
+	r.mu.Unlock()
+	return nil
+}
+
+// run pumps batches from upstream to downstream, repairing the upstream leg
+// on failure (axiom 2: the component downstream from a failure that is
+// closest to it re-establishes connectivity).
+func (r *relay) run() {
+	defer func() {
+		r.p.mu.Lock()
+		delete(r.p.relays, r)
+		r.p.mu.Unlock()
+		r.p.ActiveStreams.Add(-1)
+	}()
+
+	for {
+		r.mu.Lock()
+		up := r.up
+		r.mu.Unlock()
+		failed := r.pump(up)
+		if r.isDone() {
+			return
+		}
+		if !failed {
+			return
+		}
+		// Upstream leg failed; notify downstream (axiom 1), then repair.
+		_ = r.down.SendBatch(burst.FlowStatusDelta(burst.FlowDegraded,
+			"upstream "+r.target+" lost"))
+		if !r.repair() {
+			r.p.RepairFailures.Inc()
+			if r.setDone() {
+				_ = r.down.Terminate("stream unrecoverable: upstream gone")
+			}
+			return
+		}
+		r.p.Reconnects.Inc()
+		_ = r.down.SendBatch(burst.FlowStatusDelta(burst.FlowRerouted,
+			"stream re-established via "+r.targetName()))
+	}
+}
+
+func (r *relay) targetName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.target
+}
+
+// pump forwards batches until the upstream stream ends. It reports whether
+// the ending was a transport failure (repairable) as opposed to an orderly
+// termination/cancel.
+func (r *relay) pump(up *burst.ClientStream) (failed bool) {
+	for batch := range up.Events {
+		forward := make([]burst.Delta, 0, len(batch))
+		sawFailure := false
+		terminated := false
+		for _, d := range batch {
+			switch d.Type {
+			case burst.DeltaFlowStatus:
+				if d.Flow == burst.FlowDegraded && d.FlowDetail == "session closed" {
+					// Synthesized by our upstream client: the
+					// transport died. Handled after the loop; do
+					// not forward (we send our own flow status).
+					sawFailure = true
+					continue
+				}
+				forward = append(forward, d)
+			case burst.DeltaRewriteRequest:
+				// Keep the repair state fresh and pass the rewrite
+				// along so the device updates its copy too.
+				r.mu.Lock()
+				r.req = up.Request()
+				r.mu.Unlock()
+				r.p.RewritesRelayed.Inc()
+				forward = append(forward, d)
+			case burst.DeltaTermination:
+				terminated = true
+				forward = append(forward, d)
+			default:
+				forward = append(forward, d)
+			}
+		}
+		if len(forward) > 0 {
+			if err := r.down.SendBatch(forward...); err != nil {
+				// Downstream is gone: cancel upstream and stop.
+				if r.setDone() {
+					_ = up.Cancel("downstream lost")
+				}
+				return false
+			}
+		}
+		if terminated {
+			r.setDone()
+			return false
+		}
+		if sawFailure {
+			// Channel will close right after; fall through via range.
+			continue
+		}
+	}
+	return !r.isDone()
+}
+
+// repair re-routes and re-subscribes the stream using the stored request,
+// avoiding the failed target first and widening if needed.
+func (r *relay) repair() bool {
+	avoid := map[string]bool{r.targetName(): true}
+	for attempt := 0; attempt < r.p.MaxRepairAttempts; attempt++ {
+		if r.isDone() {
+			return false
+		}
+		if err := r.connect(avoid); err == nil {
+			return true
+		}
+		// Widen the search: after the first failed pass, allow any
+		// target again (the failed one may have recovered).
+		avoid = nil
+	}
+	return false
+}
+
+type proxyHandler struct {
+	p    *Proxy
+	sess func() *burst.ServerSession
+}
+
+func (h proxyHandler) OnSubscribe(down *burst.ServerStream, sub burst.Subscribe) {
+	p := h.p
+	r := &relay{p: p, down: down, req: sub}
+	down.State = r
+
+	if err := r.connect(nil); err != nil {
+		_ = down.Terminate(fmt.Sprintf("no upstream: %v", err))
+		return
+	}
+	p.mu.Lock()
+	p.relays[r] = true
+	p.mu.Unlock()
+	p.StreamsRelayed.Inc()
+	p.ActiveStreams.Add(1)
+	go r.run()
+}
+
+func (h proxyHandler) OnCancel(down *burst.ServerStream, c burst.Cancel) {
+	if r, ok := down.State.(*relay); ok {
+		if r.setDone() {
+			r.mu.Lock()
+			up := r.up
+			r.mu.Unlock()
+			if up != nil {
+				_ = up.Cancel(c.Reason)
+			}
+		}
+	}
+}
+
+func (h proxyHandler) OnAck(down *burst.ServerStream, a burst.Ack) {
+	if r, ok := down.State.(*relay); ok {
+		r.mu.Lock()
+		up := r.up
+		r.mu.Unlock()
+		if up != nil {
+			_ = up.Ack(a.Seq)
+		}
+	}
+}
+
+func (h proxyHandler) OnSessionClose(streams []*burst.ServerStream, err error) {
+	// The downstream connection died (device vanished, or the downstream
+	// proxy failed). Cancel the upstream leg of each affected stream and
+	// GC the state (paper: proxies garbage collect stream state when the
+	// connection to the device fails).
+	if h.sess != nil {
+		if ss := h.sess(); ss != nil {
+			h.p.mu.Lock()
+			delete(h.p.downs, ss)
+			h.p.mu.Unlock()
+		}
+	}
+	h.p.DownstreamDrops.Add(int64(len(streams)))
+	for _, down := range streams {
+		if r, ok := down.State.(*relay); ok {
+			if r.setDone() {
+				r.mu.Lock()
+				up := r.up
+				r.mu.Unlock()
+				if up != nil {
+					_ = up.Cancel("downstream connection lost")
+				}
+			}
+		}
+	}
+}

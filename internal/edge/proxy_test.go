@@ -1,0 +1,473 @@
+package edge
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bladerunner/internal/burst"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// upstreamServer is a scripted BRASS-like endpoint for proxy tests.
+type upstreamServer struct {
+	name string
+
+	mu       sync.Mutex
+	streams  []*burst.ServerStream
+	cancels  []burst.Cancel
+	acks     []burst.Ack
+	sessions []*burst.ServerSession
+}
+
+func (u *upstreamServer) accept(rwc io.ReadWriteCloser) {
+	var ss *burst.ServerSession
+	ss = burst.NewServerSession(u.name, rwc, burst.ServerHandlerFuncs{
+		Subscribe: func(st *burst.ServerStream, sub burst.Subscribe) {
+			u.mu.Lock()
+			u.streams = append(u.streams, st)
+			u.mu.Unlock()
+		},
+		Cancel: func(st *burst.ServerStream, c burst.Cancel) {
+			u.mu.Lock()
+			u.cancels = append(u.cancels, c)
+			u.mu.Unlock()
+		},
+		Ack: func(st *burst.ServerStream, a burst.Ack) {
+			u.mu.Lock()
+			u.acks = append(u.acks, a)
+			u.mu.Unlock()
+		},
+	})
+	u.mu.Lock()
+	u.sessions = append(u.sessions, ss)
+	u.mu.Unlock()
+}
+
+func (u *upstreamServer) stream(i int) *burst.ServerStream {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if i >= len(u.streams) {
+		return nil
+	}
+	return u.streams[i]
+}
+
+func (u *upstreamServer) streamCount() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.streams)
+}
+
+func (u *upstreamServer) killSessions() {
+	u.mu.Lock()
+	sessions := append([]*burst.ServerSession(nil), u.sessions...)
+	u.sessions = nil
+	u.mu.Unlock()
+	for _, s := range sessions {
+		_ = s.Close()
+	}
+}
+
+type proxyEnv struct {
+	net    *PipeNetwork
+	proxy  *Proxy
+	brassA *upstreamServer
+	brassB *upstreamServer
+	client *burst.Client
+}
+
+func newProxyEnv(t *testing.T) *proxyEnv {
+	t.Helper()
+	n := NewPipeNetwork()
+	a := &upstreamServer{name: "brass-a"}
+	b := &upstreamServer{name: "brass-b"}
+	n.Register("brass-a", a.accept)
+	n.Register("brass-b", b.accept)
+	p := NewProxy("pop-1", n, StickyRouter{Fallback: NewRoundRobinRouter("brass-a", "brass-b")})
+	n.Register("pop-1", p.Accept)
+	rwc, err := n.Dial("pop-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := burst.NewClient("device", rwc, nil)
+	t.Cleanup(func() { cli.Close(); p.Close() })
+	return &proxyEnv{net: n, proxy: p, brassA: a, brassB: b, client: cli}
+}
+
+func subscribeSticky(t *testing.T, env *proxyEnv, target string) *burst.ClientStream {
+	t.Helper()
+	st, err := env.client.Subscribe(burst.Subscribe{Header: burst.Header{
+		burst.HdrApp:         "echo",
+		burst.HdrTopic:       "/t/1",
+		burst.HdrStickyBRASS: target,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestProxyRelaysSubscribeAndDeltas(t *testing.T) {
+	env := newProxyEnv(t)
+	st := subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream stream", func() bool { return env.brassA.stream(0) != nil })
+	up := env.brassA.stream(0)
+	if got := up.Request().Header[burst.HdrTopic]; got != "/t/1" {
+		t.Errorf("upstream header topic = %q", got)
+	}
+	if err := up.SendBatch(burst.PayloadDelta(1, []byte("data"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-st.Events:
+		if string(batch[0].Payload) != "data" {
+			t.Errorf("payload = %q", batch[0].Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delta never relayed")
+	}
+	if env.proxy.StreamsRelayed.Value() != 1 || env.proxy.ActiveRelays() != 1 {
+		t.Errorf("relayed=%d active=%d", env.proxy.StreamsRelayed.Value(), env.proxy.ActiveRelays())
+	}
+}
+
+func TestProxyRelaysRewritesAndTracksState(t *testing.T) {
+	env := newProxyEnv(t)
+	st := subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream stream", func() bool { return env.brassA.stream(0) != nil })
+	if err := env.brassA.stream(0).RewriteHeaderField("resume-seq", "41"); err != nil {
+		t.Fatal(err)
+	}
+	// The device's stored request gets the rewrite through the proxy.
+	waitFor(t, "device rewrite", func() bool {
+		return st.Request().Header["resume-seq"] == "41"
+	})
+	if env.proxy.RewritesRelayed.Value() != 1 {
+		t.Errorf("RewritesRelayed = %d", env.proxy.RewritesRelayed.Value())
+	}
+	// No app-visible event for the rewrite at the device.
+	select {
+	case b := <-st.Events:
+		t.Errorf("rewrite leaked to device app: %+v", b)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestProxyRepairsStreamAfterUpstreamFailure(t *testing.T) {
+	env := newProxyEnv(t)
+	st := subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream on A", func() bool { return env.brassA.stream(0) != nil })
+
+	// BRASS rewrites a resume token; the repair must carry it.
+	if err := env.brassA.stream(0).RewriteHeaderField("resume-seq", "7"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rewrite", func() bool { return st.Request().Header["resume-seq"] == "7" })
+
+	// Kill brass-a: its sessions die and the target becomes undialable.
+	env.net.SetDown("brass-a", true)
+	env.brassA.killSessions()
+
+	// Device sees degraded then rerouted, in order.
+	var flows []burst.FlowCode
+	deadline := time.After(5 * time.Second)
+	for len(flows) < 2 {
+		select {
+		case batch := <-st.Events:
+			for _, d := range batch {
+				if d.Type == burst.DeltaFlowStatus {
+					flows = append(flows, d.Flow)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("flows so far: %v", flows)
+		}
+	}
+	if flows[0] != burst.FlowDegraded || flows[1] != burst.FlowRerouted {
+		t.Errorf("flow sequence = %v", flows)
+	}
+	// Stream landed on brass-b with the rewritten request. The sticky
+	// header pointed at brass-a, but it is avoided after the failure.
+	waitFor(t, "repaired on B", func() bool { return env.brassB.stream(0) != nil })
+	req := env.brassB.stream(0).Request()
+	if req.Header["resume-seq"] != "7" {
+		t.Errorf("repair lost rewrite state: %+v", req.Header)
+	}
+	if env.proxy.Reconnects.Value() != 1 {
+		t.Errorf("Reconnects = %d", env.proxy.Reconnects.Value())
+	}
+	// The repaired stream still works end to end.
+	if err := env.brassB.stream(0).SendBatch(burst.PayloadDelta(8, []byte("post-repair"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-st.Events:
+		if string(batch[0].Payload) != "post-repair" {
+			t.Errorf("payload = %q", batch[0].Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery after repair")
+	}
+}
+
+func TestProxyTerminatesWhenRepairImpossible(t *testing.T) {
+	n := NewPipeNetwork()
+	a := &upstreamServer{name: "brass-a"}
+	n.Register("brass-a", a.accept)
+	p := NewProxy("pop-1", n, StaticRouter("brass-a"))
+	p.MaxRepairAttempts = 2
+	n.Register("pop-1", p.Accept)
+	rwc, _ := n.Dial("pop-1")
+	cli := burst.NewClient("device", rwc, nil)
+	defer cli.Close()
+	st, err := cli.Subscribe(burst.Subscribe{Header: burst.Header{burst.HdrTopic: "/t"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "upstream", func() bool { return a.stream(0) != nil })
+	n.SetDown("brass-a", true)
+	a.killSessions()
+
+	sawTermination := false
+	deadline := time.After(5 * time.Second)
+	for !sawTermination {
+		select {
+		case batch, ok := <-st.Events:
+			if !ok {
+				t.Fatal("stream closed without termination delta")
+			}
+			for _, d := range batch {
+				if d.Type == burst.DeltaTermination {
+					sawTermination = true
+					if !strings.Contains(d.Reason, "unrecoverable") {
+						t.Errorf("reason = %q", d.Reason)
+					}
+				}
+			}
+		case <-deadline:
+			t.Fatal("no termination")
+		}
+	}
+	if p.RepairFailures.Value() != 1 {
+		t.Errorf("RepairFailures = %d", p.RepairFailures.Value())
+	}
+}
+
+func TestProxyCancelPropagatesUpstream(t *testing.T) {
+	env := newProxyEnv(t)
+	st := subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream", func() bool { return env.brassA.stream(0) != nil })
+	if err := st.Cancel("scrolled away"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "upstream cancel", func() bool {
+		env.brassA.mu.Lock()
+		defer env.brassA.mu.Unlock()
+		return len(env.brassA.cancels) == 1
+	})
+	env.brassA.mu.Lock()
+	reason := env.brassA.cancels[0].Reason
+	env.brassA.mu.Unlock()
+	if reason != "scrolled away" {
+		t.Errorf("reason = %q", reason)
+	}
+	waitFor(t, "relay GC", func() bool { return env.proxy.ActiveRelays() == 0 })
+}
+
+func TestProxyAckPropagatesUpstream(t *testing.T) {
+	env := newProxyEnv(t)
+	st := subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream", func() bool { return env.brassA.stream(0) != nil })
+	if err := st.Ack(23); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "ack", func() bool {
+		env.brassA.mu.Lock()
+		defer env.brassA.mu.Unlock()
+		return len(env.brassA.acks) == 1 && env.brassA.acks[0].Seq == 23
+	})
+}
+
+func TestProxyDeviceDropCancelsUpstreamAndGCs(t *testing.T) {
+	env := newProxyEnv(t)
+	subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream", func() bool { return env.brassA.stream(0) != nil })
+	env.client.Close() // device vanishes
+	waitFor(t, "upstream cancelled + GC", func() bool {
+		env.brassA.mu.Lock()
+		cancels := len(env.brassA.cancels)
+		env.brassA.mu.Unlock()
+		return cancels == 1 && env.proxy.ActiveRelays() == 0
+	})
+	if env.proxy.DownstreamDrops.Value() != 1 {
+		t.Errorf("DownstreamDrops = %d", env.proxy.DownstreamDrops.Value())
+	}
+}
+
+func TestProxyServerTerminationForwardedAndGCd(t *testing.T) {
+	env := newProxyEnv(t)
+	st := subscribeSticky(t, env, "brass-a")
+	waitFor(t, "upstream", func() bool { return env.brassA.stream(0) != nil })
+	if err := env.brassA.stream(0).Terminate("app says bye"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-st.Events:
+		if batch[0].Type != burst.DeltaTermination || batch[0].Reason != "app says bye" {
+			t.Errorf("batch = %+v", batch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("termination not forwarded")
+	}
+	waitFor(t, "relay GC", func() bool { return env.proxy.ActiveRelays() == 0 })
+}
+
+func TestTwoHopChain(t *testing.T) {
+	// device → POP → reverse proxy → brass.
+	n := NewPipeNetwork()
+	b := &upstreamServer{name: "brass-a"}
+	n.Register("brass-a", b.accept)
+	rp := NewProxy("rproxy-1", n, StaticRouter("brass-a"))
+	n.Register("rproxy-1", rp.Accept)
+	pop := NewProxy("pop-1", n, StaticRouter("rproxy-1"))
+	n.Register("pop-1", pop.Accept)
+	rwc, err := n.Dial("pop-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := burst.NewClient("device", rwc, nil)
+	defer cli.Close()
+
+	st, err := cli.Subscribe(burst.Subscribe{Header: burst.Header{burst.HdrTopic: "/t/2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "brass stream", func() bool { return b.stream(0) != nil })
+	if err := b.stream(0).SendBatch(burst.PayloadDelta(1, []byte("through 2 hops"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-st.Events:
+		if string(batch[0].Payload) != "through 2 hops" {
+			t.Errorf("payload = %q", batch[0].Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery across 2 hops")
+	}
+	// Rewrites traverse both hops.
+	if err := b.stream(0).RewriteHeaderField("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "device rewrite via 2 hops", func() bool {
+		return st.Request().Header["k"] == "v"
+	})
+}
+
+func TestPipeNetwork(t *testing.T) {
+	n := NewPipeNetwork()
+	if _, err := n.Dial("ghost"); err == nil {
+		t.Error("dial unknown target succeeded")
+	}
+	accepted := 0
+	n.Register("x", func(io.ReadWriteCloser) { accepted++ })
+	if _, err := n.Dial("x"); err != nil || accepted != 1 {
+		t.Errorf("dial: err=%v accepted=%d", err, accepted)
+	}
+	if n.DialCount("x") != 1 {
+		t.Errorf("DialCount = %d", n.DialCount("x"))
+	}
+	n.SetDown("x", true)
+	if _, err := n.Dial("x"); err == nil {
+		t.Error("dial down target succeeded")
+	}
+	n.SetDown("x", false)
+	if _, err := n.Dial("x"); err != nil {
+		t.Error("dial recovered target failed")
+	}
+	n.Unregister("x")
+	if _, err := n.Dial("x"); err == nil {
+		t.Error("dial unregistered target succeeded")
+	}
+	if got := len(n.Targets()); got != 0 {
+		t.Errorf("Targets = %d", got)
+	}
+}
+
+func TestRouters(t *testing.T) {
+	sub := burst.Subscribe{Header: burst.Header{burst.HdrTopic: "/t/1"}}
+
+	if tgt, err := (StaticRouter("a")).Route(sub, nil); err != nil || tgt != "a" {
+		t.Errorf("static: %v %v", tgt, err)
+	}
+
+	rr := NewRoundRobinRouter("a", "b")
+	t1, _ := rr.Route(sub, nil)
+	t2, _ := rr.Route(sub, nil)
+	if t1 == t2 {
+		t.Errorf("round robin returned %q twice", t1)
+	}
+	if tgt, err := rr.Route(sub, map[string]bool{"a": true}); err != nil || tgt != "b" {
+		t.Errorf("rr avoid: %v %v", tgt, err)
+	}
+	if _, err := rr.Route(sub, map[string]bool{"a": true, "b": true}); err == nil {
+		t.Error("rr with all avoided succeeded")
+	}
+	empty := NewRoundRobinRouter()
+	if _, err := empty.Route(sub, nil); err == nil {
+		t.Error("empty rr succeeded")
+	}
+
+	th := NewTopicHashRouter("a", "b", "c")
+	x1, _ := th.Route(sub, nil)
+	x2, _ := th.Route(sub, nil)
+	if x1 != x2 {
+		t.Error("topic hash not stable")
+	}
+	y, err := th.Route(sub, map[string]bool{x1: true})
+	if err != nil || y == x1 {
+		t.Errorf("topic hash avoid: %v %v", y, err)
+	}
+
+	sticky := StickyRouter{Fallback: StaticRouter("fallback")}
+	s := burst.Subscribe{Header: burst.Header{burst.HdrStickyBRASS: "pinned"}}
+	if tgt, _ := sticky.Route(s, nil); tgt != "pinned" {
+		t.Errorf("sticky = %q", tgt)
+	}
+	if tgt, _ := sticky.Route(s, map[string]bool{"pinned": true}); tgt != "fallback" {
+		t.Errorf("sticky avoid = %q", tgt)
+	}
+	if tgt, _ := sticky.Route(sub, nil); tgt != "fallback" {
+		t.Errorf("sticky no header = %q", tgt)
+	}
+}
+
+func TestRoundRobinSetTargets(t *testing.T) {
+	rr := NewRoundRobinRouter("a")
+	rr.SetTargets("x", "y")
+	seen := map[string]bool{}
+	sub := burst.Subscribe{}
+	for i := 0; i < 4; i++ {
+		tgt, err := rr.Route(sub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[tgt] = true
+	}
+	if !seen["x"] || !seen["y"] || seen["a"] {
+		t.Errorf("seen = %v", seen)
+	}
+}

@@ -1,0 +1,201 @@
+package edge
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNetwork is a Dialer backed by real TCP loopback sockets, proving the
+// BURST stack runs over genuine network transports, not just in-process
+// pipes. Targets Serve on an ephemeral port; Dial connects to it.
+type TCPNetwork struct {
+	mu      sync.Mutex
+	targets map[string]string // target → host:port
+	stops   []func()
+}
+
+// NewTCPNetwork returns an empty TCP network.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{targets: make(map[string]string)}
+}
+
+// Serve starts a listener for target on 127.0.0.1 and invokes accept for
+// every inbound connection. It returns the bound address.
+func (n *TCPNetwork) Serve(target string, accept func(io.ReadWriteCloser)) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("edge: listen for %s: %w", target, err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			accept(conn)
+		}
+	}()
+	n.mu.Lock()
+	n.targets[target] = ln.Addr().String()
+	n.stops = append(n.stops, func() { _ = ln.Close() })
+	n.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Dial implements Dialer over TCP.
+func (n *TCPNetwork) Dial(target string) (io.ReadWriteCloser, error) {
+	n.mu.Lock()
+	addr, ok := n.targets[target]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, target)
+	}
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+// Close stops all listeners.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	stops := n.stops
+	n.stops = nil
+	n.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+var _ Dialer = (*TCPNetwork)(nil)
+
+// LastMileConn wraps a transport with the characteristics of a constrained
+// mobile link (§1 challenge 3: 2G infrastructure, metered bandwidth): a
+// per-write latency and a bandwidth cap enforced by blocking the writer —
+// the backpressure a congested last mile really applies.
+type LastMileConn struct {
+	Inner io.ReadWriteCloser
+	// Latency is added to every write (one-way).
+	Latency time.Duration
+	// BytesPerSec caps throughput; 0 = unlimited.
+	BytesPerSec int
+
+	mu        sync.Mutex
+	debt      time.Duration
+	lastWrite time.Time
+}
+
+// Read passes through.
+func (c *LastMileConn) Read(p []byte) (int, error) { return c.Inner.Read(p) }
+
+// Write delays by the link latency plus accumulated serialization time at
+// the configured bandwidth, then forwards.
+func (c *LastMileConn) Write(p []byte) (int, error) {
+	delay := c.Latency
+	if c.BytesPerSec > 0 {
+		c.mu.Lock()
+		now := time.Now()
+		if !c.lastWrite.IsZero() {
+			// Pay down serialization debt with elapsed time.
+			c.debt -= now.Sub(c.lastWrite)
+			if c.debt < 0 {
+				c.debt = 0
+			}
+		}
+		c.lastWrite = now
+		serial := time.Duration(float64(len(p)) / float64(c.BytesPerSec) * float64(time.Second))
+		c.debt += serial
+		delay += c.debt
+		c.mu.Unlock()
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.Inner.Write(p)
+}
+
+// Close passes through.
+func (c *LastMileConn) Close() error { return c.Inner.Close() }
+
+// FlakyConn fails its transport after a configured number of written bytes,
+// injecting the mid-stream connection drops that dominate Bladerunner's
+// failure budget (Fig 10 top).
+type FlakyConn struct {
+	Inner io.ReadWriteCloser
+	// FailAfterBytes kills the conn once this many bytes were written.
+	FailAfterBytes int
+	// DropProb fails any individual write with this probability.
+	DropProb float64
+	// Rng drives DropProb; nil uses a fixed seed.
+	Rng *rand.Rand
+
+	mu      sync.Mutex
+	written int
+	dead    bool
+}
+
+// Read passes through until the conn is dead.
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, io.ErrClosedPipe
+	}
+	return c.Inner.Read(p)
+}
+
+// Write forwards until the failure condition triggers, then kills the
+// transport for both directions.
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	if c.Rng == nil {
+		c.Rng = rand.New(rand.NewSource(0xF1A))
+	}
+	c.written += len(p)
+	shouldDie := (c.FailAfterBytes > 0 && c.written > c.FailAfterBytes) ||
+		(c.DropProb > 0 && c.Rng.Float64() < c.DropProb)
+	if shouldDie {
+		c.dead = true
+		c.mu.Unlock()
+		_ = c.Inner.Close()
+		return 0, io.ErrClosedPipe
+	}
+	c.mu.Unlock()
+	return c.Inner.Write(p)
+}
+
+// Close passes through.
+func (c *FlakyConn) Close() error {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	return c.Inner.Close()
+}
+
+// TransformDialer wraps another Dialer, applying a transform to every
+// connection it opens — the hook for inserting LastMileConn/FlakyConn link
+// models into any topology (e.g. between devices and POPs in a Cluster).
+type TransformDialer struct {
+	Inner     Dialer
+	Transform func(io.ReadWriteCloser) io.ReadWriteCloser
+}
+
+// Dial implements Dialer.
+func (d TransformDialer) Dial(target string) (io.ReadWriteCloser, error) {
+	rwc, err := d.Inner.Dial(target)
+	if err != nil {
+		return nil, err
+	}
+	if d.Transform != nil {
+		return d.Transform(rwc), nil
+	}
+	return rwc, nil
+}
+
+var _ Dialer = TransformDialer{}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bladerunner/internal/workload"
+)
+
+// figStart anchors the simulated day (the paper's data is from March 2020).
+var figStart = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+// Figure8 regenerates the per-user diurnal activity curves: active
+// request-streams, subscription requests, Pylon publications, BRASS
+// decisions, and update deliveries, in 15-minute buckets over 24 hours.
+//
+// The driving curves (streams, subscriptions, publications) come from the
+// calibrated generators; decisions and deliveries are *derived* through the
+// system's relationships: each publication forces one keep/drop decision
+// per locally interested stream, and the per-application filters let only a
+// small fraction through (the paper: BRASSes filter out 80%+ of events —
+// the Fig 8 curves imply ~91%).
+func Figure8(seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	const buckets = 96 // 24h of 15-minute intervals
+
+	type curves struct {
+		streams, subs, pubs, decisions, deliveries []SeriesPoint
+	}
+	var c curves
+	var minMax = map[string][2]float64{}
+	observe := func(name string, v float64) {
+		mm, ok := minMax[name]
+		if !ok {
+			mm = [2]float64{v, v}
+		}
+		if v < mm[0] {
+			mm[0] = v
+		}
+		if v > mm[1] {
+			mm[1] = v
+		}
+		minMax[name] = mm
+	}
+
+	for b := 0; b < buckets; b++ {
+		t := figStart.Add(time.Duration(b) * 15 * time.Minute)
+		hour := float64(b) / 4
+
+		// Driving curves with small per-bucket measurement noise (each
+		// point in the paper is an average of 15 one-minute samples).
+		noise := func() float64 { return 1 + 0.015*rng.NormFloat64() }
+		streams := workload.ActiveStreamsPerUser.At(t) * noise()
+		subs := workload.SubscriptionsPerUserMinute.At(t) * noise()
+		pubs := workload.PublicationsPerUserMinute.At(t) * noise()
+
+		// Derived: every publication is fanned out to the BRASS tier;
+		// the number of delivery decisions per publication grows with
+		// how many streams are up (more active streams → more streams
+		// per topic on average).
+		interestPerPub := 1.35 + 0.75*(streams-6.5)/(11-6.5) // 1.35..2.10
+		decisions := pubs * interestPerPub * noise()
+		// Per-application filtering keeps ~9% of decisions.
+		keepRate := 0.088 + 0.004*rng.NormFloat64()
+		deliveries := decisions * keepRate
+
+		c.streams = append(c.streams, SeriesPoint{X: hour, Y: streams})
+		c.subs = append(c.subs, SeriesPoint{X: hour, Y: subs})
+		c.pubs = append(c.pubs, SeriesPoint{X: hour, Y: pubs})
+		c.decisions = append(c.decisions, SeriesPoint{X: hour, Y: decisions})
+		c.deliveries = append(c.deliveries, SeriesPoint{X: hour, Y: deliveries})
+
+		observe("streams", streams)
+		observe("subs", subs)
+		observe("pubs", pubs)
+		observe("decisions", decisions)
+		observe("deliveries", deliveries)
+	}
+
+	rangeStr := func(name string) string {
+		mm := minMax[name]
+		return fmt.Sprintf("%.2f-%.2f", mm[0], mm[1])
+	}
+	r := Result{ID: "fig8", Title: "Per-user diurnal activity (24h, 15-min buckets)"}
+	r.AddRow("active request-streams per user", "6.5-11", rangeStr("streams"), "diurnal")
+	r.AddRow("subscriptions /min/user", "0.5-0.75", rangeStr("subs"), "~5000 subs/s per BRASS host at fleet scale")
+	r.AddRow("Pylon publications /min/user", "0.8-1.5", rangeStr("pubs"), "")
+	r.AddRow("decisions /min/user", "1.1-3.2", rangeStr("decisions"), "derived: pubs x interested streams")
+	r.AddRow("deliveries /min/user", "0.1-0.25", rangeStr("deliveries"), "derived: ~91% filtered at BRASS")
+
+	filtered := 1 - minMax["deliveries"][1]/minMax["decisions"][1]
+	r.AddRow("fraction filtered at BRASS", ">80%", pct(filtered), "1 - deliveries/decisions")
+
+	r.AddSeries("streams", c.streams)
+	r.AddSeries("subscriptions", c.subs)
+	r.AddSeries("publications", c.pubs)
+	r.AddSeries("decisions", c.decisions)
+	r.AddSeries("deliveries", c.deliveries)
+	return r
+}
+
+// Figure10 regenerates the failure-handling figure: last-mile connection
+// drops per minute (top) and proxy-induced stream reconnects per minute
+// (bottom), in 15-minute buckets, plus the Pylon quorum-breakage event
+// count the paper cites for the same week.
+func Figure10(seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	const buckets = 96
+
+	var drops, reconnects []SeriesPoint
+	var dropMin, dropMax = 1e18, 0.0
+	var recMin, recMax = 1e18, 0.0
+	// Reconnect causes (paper: overwhelmingly BRASS software upgrades and
+	// load rebalancing; outright BRASS failures very rare).
+	var fromUpgrades, fromRebalance, fromFailures float64
+
+	for b := 0; b < buckets; b++ {
+		t := figStart.Add(time.Duration(b) * 15 * time.Minute)
+		hour := float64(b) / 4
+		noise := func() float64 { return 1 + 0.03*rng.NormFloat64() }
+
+		d := workload.EdgeConnectionDropsPerMinute.At(t) * noise()
+		drops = append(drops, SeriesPoint{X: hour, Y: d})
+		if d < dropMin {
+			dropMin = d
+		}
+		if d > dropMax {
+			dropMax = d
+		}
+
+		rc := workload.ProxyReconnectsPerMinute.At(t) * noise()
+		// Upgrade waves add spikes during working hours.
+		if hour >= 9 && hour <= 17 && rng.Float64() < 0.2 {
+			rc *= 1.5
+		}
+		reconnects = append(reconnects, SeriesPoint{X: hour, Y: rc})
+		if rc < recMin {
+			recMin = rc
+		}
+		if rc > recMax {
+			recMax = rc
+		}
+		fromUpgrades += rc * 0.78
+		fromRebalance += rc * 0.21
+		fromFailures += rc * 0.01
+	}
+
+	// Pylon quorum breakages: the paper counted 33 events March 30 -
+	// April 5 (one week); scale to the simulated day.
+	quorumEvents := workload.Poisson(rng, 33.0/7)
+
+	r := Result{ID: "fig10", Title: "Failure handling: drops and proxy-induced reconnects"}
+	mil := func(v float64) string { return fmt.Sprintf("%.1fM", v/1e6) }
+	r.AddRow("last-mile drops /min (range)", "18M-33M", mil(dropMin)+"-"+mil(dropMax), "diurnal")
+	r.AddRow("proxy-induced reconnects /min (range)", "0.5M-2M", mil(recMin)+"-"+mil(recMax),
+		"spikes during upgrade windows")
+	total := fromUpgrades + fromRebalance + fromFailures
+	r.AddRow("reconnects from upgrades+rebalancing", "overwhelming majority",
+		pct((fromUpgrades+fromRebalance)/total), "outright BRASS failures are rare")
+	r.AddRow("Pylon quorum-breakage events (per day)", "~4.7 (33/week)",
+		fmt.Sprintf("%d", quorumEvents), "Poisson draw at the paper's weekly rate")
+
+	r.AddSeries("drops", drops)
+	r.AddSeries("reconnects", reconnects)
+	return r
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// Per-component latency models, calibrated to the sub-operation means the
+// paper reports in Table 3 and the CDF ranges of Fig 9. These are inputs
+// (see the package comment); the experiments verify that composing them
+// through the system's structure reproduces the paper's end-to-end
+// distributions.
+//
+// Table 3 anchor points:
+//   - WAS receives update → sent to Pylon: 2,000 ms for LVC (1,790 ms of
+//     which is ML ranking), 240 ms for apps without ranking.
+//   - Pylon publish → sent to n BRASSes: 100 ms (<10k subscribers),
+//     109 ms (>=10k).
+//   - BRASS receives update → sent to devices: 76 ms for non-buffering
+//     apps, 60 ms of which is the WAS payload query.
+//   - Subscription request at gateway → replicated onto Pylon: 73 ms.
+type LatencyModels struct {
+	// EdgeToWAS is the device/edge → WAS hop for an update request
+	// (Fig 9 top: roughly 10–260 ms).
+	EdgeToWAS sim.Dist
+	// WASRanking is the ML quality-ranking time for rankable updates.
+	WASRanking sim.Dist
+	// WASBase is WAS processing excluding ranking (the LVC path).
+	WASBase sim.Dist
+	// WASBaseOther is the full WAS processing for apps without ranking.
+	WASBaseOther sim.Dist
+	// PylonFanout is publish-receipt → event sent to subscribed hosts.
+	PylonFanout sim.Dist
+	// PylonPerSubscriber is the marginal per-10k-subscriber cost.
+	PylonPerSubscriber time.Duration
+	// BRASSQueryWAS is the payload fetch + privacy check (60 ms mean).
+	BRASSQueryWAS sim.Dist
+	// BRASSProcess is BRASS-side compute excluding the WAS query.
+	BRASSProcess sim.Dist
+	// PushToDevice is the BRASS → edge → device delivery hop.
+	PushToDevice sim.Dist
+	// LVCPushToDevice is the same hop for LVC, which competes with video
+	// bytes at the edge (Fig 9: significantly higher).
+	LVCPushToDevice sim.Dist
+	// SubscribeRegister is gateway receipt → subscription replicated
+	// onto Pylon's KV quorum.
+	SubscribeRegister sim.Dist
+	// MobileSubscribe is the device-measured subscription latency (the
+	// 490/970 ms numbers dominated by mobile network overhead).
+	MobileSubscribeNAEU sim.Dist
+	MobileSubscribeAll  sim.Dist
+}
+
+// DefaultLatencies returns the calibrated models.
+func DefaultLatencies() LatencyModels {
+	return LatencyModels{
+		EdgeToWAS:           sim.LogNormalFromMedian(55*time.Millisecond, 0.55),
+		WASRanking:          sim.Exponential{MeanVal: 1790 * time.Millisecond, Min: 900 * time.Millisecond},
+		WASBase:             sim.Exponential{MeanVal: 210 * time.Millisecond, Min: 40 * time.Millisecond},
+		WASBaseOther:        sim.Exponential{MeanVal: 240 * time.Millisecond, Min: 50 * time.Millisecond},
+		PylonFanout:         sim.Exponential{MeanVal: 100 * time.Millisecond, Min: 25 * time.Millisecond},
+		PylonPerSubscriber:  9 * time.Millisecond,
+		BRASSQueryWAS:       sim.Exponential{MeanVal: 60 * time.Millisecond, Min: 15 * time.Millisecond},
+		BRASSProcess:        sim.Exponential{MeanVal: 16 * time.Millisecond, Min: 2 * time.Millisecond},
+		PushToDevice:        sim.LogNormalFromMedian(220*time.Millisecond, 0.75),
+		LVCPushToDevice:     sim.LogNormalFromMedian(450*time.Millisecond, 0.85),
+		SubscribeRegister:   sim.Exponential{MeanVal: 73 * time.Millisecond, Min: 20 * time.Millisecond},
+		MobileSubscribeNAEU: sim.LogNormalFromMedian(470*time.Millisecond, 0.25),
+		MobileSubscribeAll:  sim.LogNormalFromMedian(820*time.Millisecond, 0.55),
+	}
+}
+
+// PollModels are the latency inputs for the client-side polling variant of
+// LiveVideoComments (Fig 6): the poll interval, the backend's response
+// time under load (heavy-tailed — the source of polling's long tail), and
+// the time for a freshly posted comment to become visible to poll queries.
+type PollModels struct {
+	// Interval between polls (production polled every 1–2 s).
+	Interval time.Duration
+	// StoreVisible is comment creation → visible to TAO range queries.
+	StoreVisible sim.Dist
+	// Response is the poll's request–response time: a lognormal body
+	// with a Pareto overload tail (range/intersect queries across many
+	// shards stall when the video is hot).
+	Response sim.Dist
+	// MissProb is the chance a visible comment is missed by one poll
+	// (index lag / pagination), forcing it to wait another interval.
+	MissProb float64
+}
+
+// DefaultPollModels returns the calibrated polling inputs.
+func DefaultPollModels() PollModels {
+	return PollModels{
+		Interval:     2 * time.Second,
+		StoreVisible: sim.Exponential{MeanVal: 700 * time.Millisecond, Min: 150 * time.Millisecond},
+		Response: sim.MustMixture(
+			[]sim.Dist{
+				sim.LogNormalFromMedian(1100*time.Millisecond, 0.5),
+				sim.Pareto{Xm: 3600 * time.Millisecond, Alpha: 1.15, Cap: 60 * time.Second},
+			},
+			[]float64{0.85, 0.15},
+		),
+		MissProb: 0.25,
+	}
+}
+
+// StreamModels are the latency inputs for the Bladerunner (stream) variant
+// of LiveVideoComments in Fig 6.
+type StreamModels struct {
+	L LatencyModels
+	// BufferWait is the time a comment sits in the per-viewer ranked
+	// buffer before being popped at the rate limit; the product caps it
+	// at 10 s (comments older than that are discarded as irrelevant).
+	BufferWait sim.Dist
+	// BufferCap is the product's 10-second relevance cap.
+	BufferCap time.Duration
+}
+
+// DefaultStreamModels returns the calibrated streaming inputs.
+func DefaultStreamModels() StreamModels {
+	return StreamModels{
+		L:          DefaultLatencies(),
+		BufferWait: sim.Exponential{MeanVal: 650 * time.Millisecond},
+		BufferCap:  10 * time.Second,
+	}
+}

@@ -1,0 +1,373 @@
+// Package kvstore implements the distributed in-memory key-value store
+// that Pylon uses to track topic subscriptions (paper §3.1): values are
+// sets of members, replicated across nodes chosen by rendezvous hashing on
+// the key, with one replica in the local region and the others in distinct
+// remote regions.
+//
+// Writes are CP: they require a majority of the key's replicas to be
+// reachable, otherwise they fail. Reads are AP-friendly: callers may read
+// any single replica (fast, possibly stale) or gather all replica responses
+// and merge. Set membership uses last-writer-wins versioning with
+// tombstones so replicas can be patched to eventual consistency — the
+// "quorum patch" operation Pylon performs when it notices replicas
+// disagreeing.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoQuorum is returned when a write cannot reach a majority of the
+// key's replicas.
+var ErrNoQuorum = errors.New("kvstore: no quorum of replicas reachable")
+
+// ErrNodeDown is returned when reading from an unreachable node.
+var ErrNodeDown = errors.New("kvstore: node down")
+
+// Member is one element of a replicated set (for Pylon: a BRASS host ID).
+type Member string
+
+// record tracks one member with LWW metadata. Tombstones (Present=false)
+// are retained so removals replicate correctly.
+type record struct {
+	Version uint64
+	Present bool
+}
+
+// SetView is a point-in-time, version-annotated view of a replicated set,
+// suitable for merging across replicas.
+type SetView map[Member]VersionedMember
+
+// VersionedMember pairs membership with its LWW version.
+type VersionedMember struct {
+	Version uint64
+	Present bool
+}
+
+// Members returns the present members of the view in sorted order.
+func (v SetView) Members() []Member {
+	out := make([]Member, 0, len(v))
+	for m, r := range v {
+		if r.Present {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge combines several replica views into the LWW-maximal view. Version
+// ties (possible only if two writers raced the version counter) resolve
+// deterministically in favor of the tombstone, keeping Merge commutative.
+func Merge(views ...SetView) SetView {
+	out := make(SetView)
+	for _, v := range views {
+		for m, r := range v {
+			cur, ok := out[m]
+			if !ok || newer(r.Version, r.Present, cur.Version, cur.Present) {
+				out[m] = r
+			}
+		}
+	}
+	return out
+}
+
+// newer reports whether (v1,p1) supersedes (v2,p2) under LWW with
+// tombstone-wins tie-breaking.
+func newer(v1 uint64, p1 bool, v2 uint64, p2 bool) bool {
+	if v1 != v2 {
+		return v1 > v2
+	}
+	return !p1 && p2
+}
+
+// Node is one KV replica server.
+type Node struct {
+	ID     string
+	Region string
+
+	mu   sync.RWMutex
+	up   bool
+	data map[string]map[Member]record
+}
+
+// NewNode returns an empty, up node.
+func NewNode(id, region string) *Node {
+	return &Node{ID: id, Region: region, up: true, data: make(map[string]map[Member]record)}
+}
+
+// Up reports whether the node is reachable.
+func (n *Node) Up() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.up
+}
+
+// SetUp marks the node reachable or unreachable (failure injection).
+func (n *Node) SetUp(up bool) {
+	n.mu.Lock()
+	n.up = up
+	n.mu.Unlock()
+}
+
+// apply records a membership change if it is newer than the stored record.
+func (n *Node) apply(key string, m Member, rec record) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.up {
+		return fmt.Errorf("node %s: %w", n.ID, ErrNodeDown)
+	}
+	set, ok := n.data[key]
+	if !ok {
+		set = make(map[Member]record)
+		n.data[key] = set
+	}
+	if cur, ok := set[m]; !ok || newer(rec.Version, rec.Present, cur.Version, cur.Present) {
+		set[m] = rec
+	}
+	return nil
+}
+
+// View returns the node's current view of key.
+func (n *Node) View(key string) (SetView, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.up {
+		return nil, fmt.Errorf("node %s: %w", n.ID, ErrNodeDown)
+	}
+	set := n.data[key]
+	out := make(SetView, len(set))
+	for m, r := range set {
+		out[m] = VersionedMember{Version: r.Version, Present: r.Present}
+	}
+	return out, nil
+}
+
+// Keys returns the number of keys stored (diagnostics).
+func (n *Node) Keys() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.data)
+}
+
+// Cluster is a set of nodes with rendezvous-hashed replica placement.
+type Cluster struct {
+	nodes    []*Node
+	replicas int
+	version  atomic.Uint64 // global LWW version source
+}
+
+// NewCluster builds a cluster over nodes with the given replication factor.
+// replicas must be >= 1 and <= len(nodes).
+func NewCluster(nodes []*Node, replicas int) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("kvstore: cluster needs at least one node")
+	}
+	if replicas < 1 || replicas > len(nodes) {
+		return nil, fmt.Errorf("kvstore: replicas %d out of range [1,%d]", replicas, len(nodes))
+	}
+	ids := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if ids[n.ID] {
+			return nil, fmt.Errorf("kvstore: duplicate node id %q", n.ID)
+		}
+		ids[n.ID] = true
+	}
+	return &Cluster{nodes: nodes, replicas: replicas}, nil
+}
+
+// MustNewCluster is NewCluster that panics on error.
+func MustNewCluster(nodes []*Node, replicas int) *Cluster {
+	c, err := NewCluster(nodes, replicas)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ReplicasFor returns the key's replica nodes chosen by rendezvous hashing,
+// preferring region diversity: after the top-scoring node, subsequent picks
+// come from regions not yet represented when possible (paper §3.1: one
+// local replica, others in distinct remote regions). The order is
+// deterministic for a given key; index 0 is the "primary" (typically the
+// fastest responder in the local region).
+func (c *Cluster) ReplicasFor(key string) []*Node {
+	type scored struct {
+		n *Node
+		s uint64
+	}
+	all := make([]scored, len(c.nodes))
+	for i, n := range c.nodes {
+		all[i] = scored{n, rendezvousScore(key, n.ID)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].n.ID < all[j].n.ID
+	})
+	out := make([]*Node, 0, c.replicas)
+	used := make(map[string]bool)
+	// First pass: best node per unused region.
+	for _, sc := range all {
+		if len(out) == c.replicas {
+			return out
+		}
+		if !used[sc.n.Region] {
+			out = append(out, sc.n)
+			used[sc.n.Region] = true
+		}
+	}
+	// Second pass: fill remaining slots regardless of region.
+	for _, sc := range all {
+		if len(out) == c.replicas {
+			break
+		}
+		dup := false
+		for _, o := range out {
+			if o == sc.n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, sc.n)
+		}
+	}
+	return out
+}
+
+// rendezvousScore is FNV-1a over key+node.
+func rendezvousScore(key, node string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	h ^= 0xff
+	h *= prime
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= prime
+	}
+	return h
+}
+
+// NextVersion allocates a new LWW version.
+func (c *Cluster) NextVersion() uint64 { return c.version.Add(1) }
+
+// SetAdd adds member to the set at key on all reachable replicas. It
+// requires a majority of replicas to accept the write (CP), returning
+// ErrNoQuorum otherwise. It returns the number of replicas written.
+func (c *Cluster) SetAdd(key string, m Member) (int, error) {
+	return c.write(key, m, true)
+}
+
+// SetRemove removes member from the set at key (tombstone write, CP).
+func (c *Cluster) SetRemove(key string, m Member) (int, error) {
+	return c.write(key, m, false)
+}
+
+func (c *Cluster) write(key string, m Member, present bool) (int, error) {
+	replicas := c.ReplicasFor(key)
+	rec := record{Version: c.NextVersion(), Present: present}
+	acked := 0
+	for _, n := range replicas {
+		if err := n.apply(key, m, rec); err == nil {
+			acked++
+		}
+	}
+	if acked*2 <= len(replicas) {
+		return acked, fmt.Errorf("key %q: %d/%d acks: %w", key, acked, len(replicas), ErrNoQuorum)
+	}
+	return acked, nil
+}
+
+// ReadOne returns the first reachable replica's view of key, preferring
+// the primary. The view may be stale; callers that need convergence use
+// ReadAll + Merge.
+func (c *Cluster) ReadOne(key string) (SetView, *Node, error) {
+	for _, n := range c.ReplicasFor(key) {
+		v, err := n.View(key)
+		if err == nil {
+			return v, n, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("key %q: all replicas down: %w", key, ErrNodeDown)
+}
+
+// ReplicaResponse is one replica's answer in a ReadAll.
+type ReplicaResponse struct {
+	Node *Node
+	View SetView
+	Err  error
+}
+
+// ReadAll queries every replica of key and returns their individual
+// responses in replica order. Pylon uses the first response to start
+// fan-out and the rest for patch-up.
+func (c *Cluster) ReadAll(key string) []ReplicaResponse {
+	replicas := c.ReplicasFor(key)
+	out := make([]ReplicaResponse, len(replicas))
+	for i, n := range replicas {
+		v, err := n.View(key)
+		out[i] = ReplicaResponse{Node: n, View: v, Err: err}
+	}
+	return out
+}
+
+// Patch writes the merged view back to any replica whose view diverges,
+// bringing replicas to eventual consistency. It returns the number of
+// replicas patched.
+func (c *Cluster) Patch(key string, merged SetView) int {
+	patched := 0
+	for _, n := range c.ReplicasFor(key) {
+		v, err := n.View(key)
+		if err != nil {
+			continue
+		}
+		if viewsEqual(v, merged) {
+			continue
+		}
+		for m, r := range merged {
+			if cur, ok := v[m]; !ok || newer(r.Version, r.Present, cur.Version, cur.Present) {
+				_ = n.apply(key, m, record(r))
+			}
+		}
+		patched++
+	}
+	return patched
+}
+
+// QuorumAvailable reports whether a majority of key's replicas are up —
+// the paper's "quorum breakage" failure condition (Fig 10 discussion).
+func (c *Cluster) QuorumAvailable(key string) bool {
+	replicas := c.ReplicasFor(key)
+	up := 0
+	for _, n := range replicas {
+		if n.Up() {
+			up++
+		}
+	}
+	return up*2 > len(replicas)
+}
+
+func viewsEqual(a, b SetView) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m, r := range a {
+		if b[m] != r {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,246 @@
+// Package metrics provides the measurement primitives used across the
+// Bladerunner reproduction: duration histograms with percentile queries,
+// counters, and bucketed time series. All types are safe for concurrent use
+// unless noted otherwise; the experiment harness also uses them single-
+// threaded under the simulation engine.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultReservoirSize bounds the per-histogram memory used for percentile
+// estimation. 64k samples keeps p999 stable for the sample volumes the
+// experiments produce.
+const DefaultReservoirSize = 65536
+
+// Histogram records durations and answers count/mean/percentile/CDF
+// queries. It keeps exact count/sum/min/max and a uniform reservoir of
+// samples for quantiles (exact when fewer than the reservoir size samples
+// have been observed).
+type Histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	min   time.Duration
+	max   time.Duration
+	// reservoir holds a uniform sample of observations.
+	reservoir []time.Duration
+	cap       int
+	rng       *rand.Rand
+	sorted    bool
+}
+
+// NewHistogram returns a Histogram with the default reservoir size.
+func NewHistogram() *Histogram { return NewHistogramSize(DefaultReservoirSize) }
+
+// NewHistogramSize returns a Histogram whose reservoir holds up to size
+// samples. size must be positive.
+func NewHistogramSize(size int) *Histogram {
+	if size <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive reservoir size %d", size))
+	}
+	return &Histogram{
+		cap: size,
+		rng: rand.New(rand.NewSource(0x0b1ade)),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if h.count == 0 || d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	if len(h.reservoir) < h.cap {
+		h.reservoir = append(h.reservoir, d)
+		h.sorted = false
+		return
+	}
+	// Vitter's algorithm R.
+	if j := h.rng.Int63n(h.count); j < int64(h.cap) {
+		h.reservoir[j] = d
+		h.sorted = false
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the exact mean, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) estimated from the
+// reservoir. It returns 0 with no observations.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.percentileLocked(p)
+}
+
+func (h *Histogram) percentileLocked(p float64) time.Duration {
+	n := len(h.reservoir)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if p <= 0 {
+		return h.reservoir[0]
+	}
+	if p >= 100 {
+		return h.reservoir[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.reservoir[lo]
+	}
+	frac := rank - float64(lo)
+	return h.reservoir[lo] + time.Duration(frac*float64(h.reservoir[hi]-h.reservoir[lo]))
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.reservoir, func(i, j int) bool { return h.reservoir[i] < h.reservoir[j] })
+		h.sorted = true
+	}
+}
+
+// CDFPoint is one point of a cumulative distribution: Fraction of
+// observations were <= Value.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// CDF returns n evenly spaced (by cumulative fraction) points of the
+// empirical CDF. It returns nil with no observations or n < 1.
+func (h *Histogram) CDF(n int) []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.reservoir) == 0 || n < 1 {
+		return nil
+	}
+	h.sortLocked()
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		frac := float64(i) / float64(n)
+		idx := int(frac*float64(len(h.reservoir))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{Value: h.reservoir[idx], Fraction: frac})
+	}
+	return out
+}
+
+// Buckets counts observations into the half-open ranges defined by bounds:
+// (-inf, bounds[0]], (bounds[0], bounds[1]], ..., (bounds[n-1], +inf).
+// The returned slice has len(bounds)+1 entries. Counts are computed from
+// the reservoir and scaled to the true total count.
+func (h *Histogram) Buckets(bounds []time.Duration) []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, len(bounds)+1)
+	if len(h.reservoir) == 0 {
+		return out
+	}
+	h.sortLocked()
+	scale := float64(h.count) / float64(len(h.reservoir))
+	i := 0
+	for bi, b := range bounds {
+		start := i
+		for i < len(h.reservoir) && h.reservoir[i] <= b {
+			i++
+		}
+		out[bi] = int64(math.Round(float64(i-start) * scale))
+	}
+	out[len(bounds)] = int64(math.Round(float64(len(h.reservoir)-i) * scale))
+	return out
+}
+
+// Snapshot returns a copy of the aggregate state for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		Mean: func() time.Duration {
+			if h.count == 0 {
+				return 0
+			}
+			return h.sum / time.Duration(h.count)
+		}(),
+		P50: h.percentileLocked(50),
+		P75: h.percentileLocked(75),
+		P90: h.percentileLocked(90),
+		P95: h.percentileLocked(95),
+		P99: h.percentileLocked(99),
+	}
+}
+
+// HistogramSnapshot is an immutable summary of a Histogram.
+type HistogramSnapshot struct {
+	Count                   int64
+	Sum, Min, Max, Mean     time.Duration
+	P50, P75, P90, P95, P99 time.Duration
+}
+
+// String formats the snapshot compactly for logs and reports.
+func (s HistogramSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p75=%v p90=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Millisecond), s.P50.Round(time.Millisecond),
+		s.P75.Round(time.Millisecond), s.P90.Round(time.Millisecond),
+		s.P95.Round(time.Millisecond), s.P99.Round(time.Millisecond),
+		s.Max.Round(time.Millisecond))
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram not zero-valued")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 49*time.Millisecond || p50 > 52*time.Millisecond {
+		t.Errorf("P50 = %v", p50)
+	}
+	if h.Percentile(0) != time.Millisecond {
+		t.Errorf("P0 = %v", h.Percentile(0))
+	}
+	if h.Percentile(100) != 100*time.Millisecond {
+		t.Errorf("P100 = %v", h.Percentile(100))
+	}
+}
+
+func TestHistogramReservoirDownsamples(t *testing.T) {
+	h := NewHistogramSize(100)
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	// Median of uniform [0,100ms) should be near 50ms even when sampled.
+	p50 := h.Percentile(50)
+	if p50 < 30*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Errorf("sampled P50 = %v, want ~50ms", p50)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cdf := h.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF len = %d", len(cdf))
+	}
+	prev := time.Duration(-1)
+	for _, p := range cdf {
+		if p.Value < prev {
+			t.Errorf("CDF not monotone: %v after %v", p.Value, prev)
+		}
+		prev = p.Value
+	}
+	if cdf[9].Fraction != 1.0 {
+		t.Errorf("last fraction = %v", cdf[9].Fraction)
+	}
+	if got := cdf[4].Value; got < 450*time.Millisecond || got > 550*time.Millisecond {
+		t.Errorf("CDF 50%% value = %v", got)
+	}
+	if h2 := NewHistogram(); h2.CDF(5) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Second)
+	}
+	got := h.Buckets([]time.Duration{25 * time.Second, 50 * time.Second, 75 * time.Second})
+	want := []int64{25, 25, 25, 25}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramSnapshotOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P75 && s.P75 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("percentiles out of order: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: mean is always between min and max.
+func TestHistogramMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(time.Duration(v))
+		}
+		m := h.Mean()
+		return m >= h.Min() && m <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d", g.Value())
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("pubs")
+	c1.Inc()
+	if r.Counter("pubs").Value() != 1 {
+		t.Error("Counter not shared by name")
+	}
+	h1 := r.Histogram("lat")
+	h1.Observe(time.Second)
+	if r.Histogram("lat").Count() != 1 {
+		t.Error("Histogram not shared by name")
+	}
+	g1 := r.Gauge("streams")
+	g1.Set(3)
+	if r.Gauge("streams").Value() != 3 {
+		t.Error("Gauge not shared by name")
+	}
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != "pubs" {
+		t.Errorf("CounterNames = %v", names)
+	}
+	hn := r.HistogramNames()
+	if len(hn) != 1 || hn[0] != "lat" {
+		t.Errorf("HistogramNames = %v", hn)
+	}
+}
+
+var tsStart = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(tsStart, 15*time.Minute, 96) // 24h of 15-min buckets
+	if ts.Buckets() != 96 || ts.Width() != 15*time.Minute || !ts.Start().Equal(tsStart) {
+		t.Fatal("constructor fields wrong")
+	}
+	ts.Inc(tsStart)                        // bucket 0
+	ts.Inc(tsStart.Add(14 * time.Minute))  // bucket 0
+	ts.Add(tsStart.Add(16*time.Minute), 5) // bucket 1
+	ts.Inc(tsStart.Add(-time.Minute))      // dropped
+	ts.Inc(tsStart.Add(24 * time.Hour))    // dropped
+	if ts.Sum(0) != 2 || ts.Count(0) != 2 {
+		t.Errorf("bucket0 sum=%v count=%v", ts.Sum(0), ts.Count(0))
+	}
+	if ts.Sum(1) != 5 || ts.Mean(1) != 5 {
+		t.Errorf("bucket1 sum=%v mean=%v", ts.Sum(1), ts.Mean(1))
+	}
+	if ts.Mean(2) != 0 {
+		t.Errorf("empty bucket mean = %v", ts.Mean(2))
+	}
+	if got := ts.RatePerMinute(1); got != 5.0/15.0 {
+		t.Errorf("RatePerMinute = %v", got)
+	}
+	if got := ts.GrandTotal(); got != 7 {
+		t.Errorf("GrandTotal = %v", got)
+	}
+	if !ts.BucketTime(4).Equal(tsStart.Add(time.Hour)) {
+		t.Errorf("BucketTime(4) = %v", ts.BucketTime(4))
+	}
+	if tot := ts.Totals(); len(tot) != 96 || tot[0] != 2 {
+		t.Errorf("Totals = %v...", tot[:3])
+	}
+}
+
+func TestTimeSeriesPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero width")
+		}
+	}()
+	NewTimeSeries(tsStart, 0, 10)
+}
+
+func TestNewHistogramSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 0")
+		}
+	}()
+	NewHistogramSize(0)
+}

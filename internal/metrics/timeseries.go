@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TimeSeries accumulates values into fixed-width time buckets over a window
+// [Start, Start+Width*Buckets). It backs the diurnal figures (Fig 8 and
+// Fig 10 in the paper), which report per-minute rates averaged over 15-minute
+// intervals.
+type TimeSeries struct {
+	mu     sync.Mutex
+	start  time.Time
+	width  time.Duration
+	sums   []float64
+	counts []int64
+}
+
+// NewTimeSeries returns a TimeSeries with n buckets of the given width
+// starting at start.
+func NewTimeSeries(start time.Time, width time.Duration, n int) *TimeSeries {
+	if width <= 0 || n <= 0 {
+		panic(fmt.Sprintf("metrics: invalid time series width=%v n=%d", width, n))
+	}
+	return &TimeSeries{
+		start:  start,
+		width:  width,
+		sums:   make([]float64, n),
+		counts: make([]int64, n),
+	}
+}
+
+// Add records v at time t. Observations outside the window are dropped.
+func (ts *TimeSeries) Add(t time.Time, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	i := ts.index(t)
+	if i < 0 {
+		return
+	}
+	ts.sums[i] += v
+	ts.counts[i]++
+}
+
+// Inc records an occurrence (v=1) at time t.
+func (ts *TimeSeries) Inc(t time.Time) { ts.Add(t, 1) }
+
+func (ts *TimeSeries) index(t time.Time) int {
+	d := t.Sub(ts.start)
+	if d < 0 {
+		return -1
+	}
+	i := int(d / ts.width)
+	if i >= len(ts.sums) {
+		return -1
+	}
+	return i
+}
+
+// Buckets returns the number of buckets.
+func (ts *TimeSeries) Buckets() int { return len(ts.sums) }
+
+// Width returns the bucket width.
+func (ts *TimeSeries) Width() time.Duration { return ts.width }
+
+// Start returns the window start.
+func (ts *TimeSeries) Start() time.Time { return ts.start }
+
+// BucketTime returns the start time of bucket i.
+func (ts *TimeSeries) BucketTime(i int) time.Time {
+	return ts.start.Add(time.Duration(i) * ts.width)
+}
+
+// Sum returns the total recorded value in bucket i.
+func (ts *TimeSeries) Sum(i int) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.sums[i]
+}
+
+// Count returns the number of observations in bucket i.
+func (ts *TimeSeries) Count(i int) int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.counts[i]
+}
+
+// Mean returns the mean observation in bucket i, or 0 if empty.
+func (ts *TimeSeries) Mean(i int) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.sums[i] / float64(ts.counts[i])
+}
+
+// RatePerMinute returns bucket i's total divided by the bucket width in
+// minutes — the paper's per-minute rate averaged over the bucket.
+func (ts *TimeSeries) RatePerMinute(i int) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.sums[i] / ts.width.Minutes()
+}
+
+// Totals returns a copy of the per-bucket sums.
+func (ts *TimeSeries) Totals() []float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]float64, len(ts.sums))
+	copy(out, ts.sums)
+	return out
+}
+
+// GrandTotal returns the sum over all buckets.
+func (ts *TimeSeries) GrandTotal() float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var total float64
+	for _, s := range ts.sums {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,382 @@
+// Package pylon implements Pylon, Bladerunner's deliberately simple
+// topic-based pub/sub system (paper §3.1). Pylon has exactly two jobs:
+// track which BRASS hosts subscribe to each topic, and fan published update
+// events out to those hosts with low latency.
+//
+// Key properties reproduced from the paper:
+//
+//   - Subscription state lives in a replicated KV store (internal/kvstore):
+//     rendezvous hashing on the topic picks the replicas, one local and the
+//     rest in remote regions. Subscription writes are CP (quorum required);
+//     delivery is AP (best effort, no guarantees on failure).
+//   - On publish, Pylon begins fan-out as soon as the first replica answers
+//     with a subscriber list; when the remaining replicas answer, it
+//     forwards to any subscribers the first list was missing, and patches
+//     replicas that disagree back to a quorum-merged view.
+//   - Topics are partitioned across shards mapped onto Pylon servers so
+//     load can be rebalanced one shard at a time.
+//   - Pylon is content-agnostic: events carry metadata identifying the
+//     mutation in TAO, never the data itself (paper §1, unique aspect 3).
+package pylon
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/metrics"
+)
+
+// Topic names an area of interest in the social graph, structured like a
+// path: /LVC/videoID, /TI/threadID/uid, /Status/uid.
+type Topic string
+
+// Event is a published update event: metadata only, pointing at the data in
+// TAO. BRASSes fetch the payload from the WAS when (and only when) they
+// decide a client should see it.
+type Event struct {
+	Topic Topic
+	// ID is a unique event id assigned by Pylon at publish time.
+	ID uint64
+	// Ref identifies the mutated object in TAO (e.g. the comment id).
+	Ref uint64
+	// Seq is an optional application-assigned sequence number (used by
+	// Messenger-style reliable applications).
+	Seq uint64
+	// Meta carries application metadata: poster uid, ML quality score,
+	// language, etc. It is small by design; cross-region links are a
+	// limited resource.
+	Meta map[string]string
+	// Published is the publish timestamp.
+	Published time.Time
+}
+
+// Subscriber is the delivery endpoint for one BRASS host. Deliver must not
+// block: Pylon is best-effort, and a slow host must not stall fan-out.
+type Subscriber interface {
+	ID() string
+	Deliver(ev Event)
+}
+
+// ErrNoQuorum mirrors kvstore.ErrNoQuorum for subscription writes.
+var ErrNoQuorum = kvstore.ErrNoQuorum
+
+// ErrUnknownSubscriber is returned when subscribing an unregistered host.
+var ErrUnknownSubscriber = errors.New("pylon: unknown subscriber host")
+
+// Config parameterizes the Pylon service.
+type Config struct {
+	// Shards is the number of topic shards (production: 512K). Shards
+	// map onto servers for load accounting.
+	Shards int
+	// Servers is the number of Pylon front-end servers.
+	Servers int
+}
+
+// DefaultConfig returns a test-scale configuration.
+func DefaultConfig() Config { return Config{Shards: 4096, Servers: 8} }
+
+// Service is the Pylon control plane plus fan-out data plane.
+type Service struct {
+	cfg Config
+	kv  *kvstore.Cluster
+
+	mu    sync.Mutex
+	hosts map[string]Subscriber
+	// hostTopics is the reverse index used when a BRASS host fails and
+	// all its subscriptions must be removed (paper §4 axiom 1).
+	hostTopics map[string]map[Topic]bool
+	serverUp   []bool
+	serverLoad []int64
+	// shardOverride holds explicit shard→server reassignments made by
+	// MoveShard; absent shards use the modular default.
+	shardOverride map[int]int
+	nextEvent     uint64
+
+	// Metrics.
+	Publishes     metrics.Counter
+	Deliveries    metrics.Counter
+	PatchForwards metrics.Counter // deliveries triggered by late replicas
+	Patches       metrics.Counter // replica repair operations
+	DroppedNoSub  metrics.Counter // publishes with zero subscribers
+	FanoutSize    *metrics.Histogram
+}
+
+// New builds a Pylon service over the given subscription KV cluster.
+func New(cfg Config, kv *kvstore.Cluster) (*Service, error) {
+	if cfg.Shards <= 0 || cfg.Servers <= 0 {
+		return nil, fmt.Errorf("pylon: invalid config %+v", cfg)
+	}
+	if kv == nil {
+		return nil, errors.New("pylon: nil kv cluster")
+	}
+	s := &Service{
+		cfg:        cfg,
+		kv:         kv,
+		hosts:      make(map[string]Subscriber),
+		hostTopics: make(map[string]map[Topic]bool),
+		serverUp:   make([]bool, cfg.Servers),
+		serverLoad: make([]int64, cfg.Servers),
+		FanoutSize: metrics.NewHistogram(),
+	}
+	for i := range s.serverUp {
+		s.serverUp[i] = true
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, kv *kvstore.Cluster) *Service {
+	s, err := New(cfg, kv)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RegisterHost makes a BRASS host known to Pylon so subscriptions can be
+// delivered to it.
+func (s *Service) RegisterHost(sub Subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hosts[sub.ID()] = sub
+	if s.hostTopics[sub.ID()] == nil {
+		s.hostTopics[sub.ID()] = make(map[Topic]bool)
+	}
+}
+
+// Shard returns the topic's shard index.
+func (s *Service) Shard(t Topic) int {
+	return int(fnv64(string(t)) % uint64(s.cfg.Shards))
+}
+
+// ServerFor returns the index of the Pylon server owning the topic's
+// shard, honoring any rebalancing overrides.
+func (s *Service) ServerFor(t Topic) int {
+	shard := s.Shard(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serverForShardLocked(shard)
+}
+
+func (s *Service) serverForShardLocked(shard int) int {
+	if srv, ok := s.shardOverride[shard]; ok {
+		return srv
+	}
+	return shard % s.cfg.Servers
+}
+
+// SetServerUp marks a Pylon front-end up or down (failure injection).
+func (s *Service) SetServerUp(i int, up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serverUp[i] = up
+}
+
+// anyServerUp reports whether some front end can take over a failed one.
+func (s *Service) anyServerUp() bool {
+	for _, up := range s.serverUp {
+		if up {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrUnavailable is returned when no Pylon front end is reachable.
+var ErrUnavailable = errors.New("pylon: no server available")
+
+// Subscribe registers hostID for topic. The write is CP: it fails without a
+// KV quorum, in which case the caller (the BRASS subscription manager)
+// retries against another replica set or surfaces the failure.
+func (s *Service) Subscribe(topic Topic, hostID string) error {
+	shard := s.Shard(topic)
+	s.mu.Lock()
+	_, known := s.hosts[hostID]
+	serverOK := s.serverUp[s.serverForShardLocked(shard)] || s.anyServerUp()
+	s.mu.Unlock()
+	if !known {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscriber, hostID)
+	}
+	if !serverOK {
+		return ErrUnavailable
+	}
+	if _, err := s.kv.SetAdd(string(topic), kvstore.Member(hostID)); err != nil {
+		return fmt.Errorf("pylon: subscribe %q: %w", topic, err)
+	}
+	s.mu.Lock()
+	s.hostTopics[hostID][topic] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Unsubscribe removes hostID's subscription to topic.
+func (s *Service) Unsubscribe(topic Topic, hostID string) error {
+	if _, err := s.kv.SetRemove(string(topic), kvstore.Member(hostID)); err != nil {
+		return fmt.Errorf("pylon: unsubscribe %q: %w", topic, err)
+	}
+	s.mu.Lock()
+	if m := s.hostTopics[hostID]; m != nil {
+		delete(m, topic)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// RemoveHost drops every subscription held by hostID — invoked when Pylon
+// detects a BRASS host failure.
+func (s *Service) RemoveHost(hostID string) {
+	s.mu.Lock()
+	topics := make([]Topic, 0, len(s.hostTopics[hostID]))
+	for t := range s.hostTopics[hostID] {
+		topics = append(topics, t)
+	}
+	delete(s.hostTopics, hostID)
+	delete(s.hosts, hostID)
+	s.mu.Unlock()
+	for _, t := range topics {
+		_, _ = s.kv.SetRemove(string(t), kvstore.Member(hostID))
+	}
+}
+
+// Subscribers returns the current merged subscriber list for a topic
+// (diagnostics; the publish path uses the staged first-responder flow).
+func (s *Service) Subscribers(topic Topic) []string {
+	resp := s.kv.ReadAll(string(topic))
+	views := make([]kvstore.SetView, 0, len(resp))
+	for _, r := range resp {
+		if r.Err == nil {
+			views = append(views, r.View)
+		}
+	}
+	merged := kvstore.Merge(views...)
+	members := merged.Members()
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = string(m)
+	}
+	return out
+}
+
+// Publish assigns the event an id and fans it out to the topic's
+// subscribers using first-responder forwarding:
+//
+//  1. Query all replicas of the topic's subscriber list.
+//  2. Forward immediately to the members of the first successful response
+//     (typically the local-region replica — lowest latency).
+//  3. When the other responses arrive, forward to members missing from the
+//     first list, and patch any divergent replica to the merged view.
+//
+// Delivery is best effort: unknown or failed hosts are skipped silently.
+// Publish returns the number of hosts the event was sent to.
+func (s *Service) Publish(ev Event) (int, error) {
+	shard := s.Shard(ev.Topic)
+	s.mu.Lock()
+	srv := s.serverForShardLocked(shard)
+	if !s.serverUp[srv] {
+		if !s.anyServerUp() {
+			s.mu.Unlock()
+			return 0, ErrUnavailable
+		}
+		// Another front end takes over the down server's shard.
+		for i, up := range s.serverUp {
+			if up {
+				srv = i
+				break
+			}
+		}
+	}
+	s.serverLoad[srv]++
+	s.nextEvent++
+	ev.ID = s.nextEvent
+	s.mu.Unlock()
+
+	s.Publishes.Inc()
+
+	resp := s.kv.ReadAll(string(ev.Topic))
+
+	// Stage 1: first successful replica response starts fan-out.
+	sent := make(map[kvstore.Member]bool)
+	first := -1
+	for i, r := range resp {
+		if r.Err == nil {
+			first = i
+			for _, m := range r.View.Members() {
+				if s.deliverTo(m, ev) {
+					sent[m] = true
+				}
+			}
+			break
+		}
+	}
+	if first == -1 {
+		// All replicas down: the event is dropped (best effort); the
+		// affected BRASSes detect quorum loss separately.
+		s.DroppedNoSub.Inc()
+		return 0, fmt.Errorf("pylon: publish %q: all subscription replicas down", ev.Topic)
+	}
+
+	// Stage 2: remaining replicas may know subscribers the first missed.
+	views := make([]kvstore.SetView, 0, len(resp))
+	diverged := false
+	for i, r := range resp {
+		if r.Err != nil {
+			continue
+		}
+		views = append(views, r.View)
+		if i == first {
+			continue
+		}
+		for _, m := range r.View.Members() {
+			if !sent[m] {
+				if s.deliverTo(m, ev) {
+					sent[m] = true
+					s.PatchForwards.Inc()
+				}
+				diverged = true
+			}
+		}
+	}
+
+	// Stage 3: repair divergent replicas toward the merged view.
+	if diverged || len(views) > 1 {
+		merged := kvstore.Merge(views...)
+		if patched := s.kv.Patch(string(ev.Topic), merged); patched > 0 {
+			s.Patches.Add(int64(patched))
+		}
+	}
+
+	n := len(sent)
+	if n == 0 {
+		s.DroppedNoSub.Inc()
+	}
+	s.Deliveries.Add(int64(n))
+	s.FanoutSize.Observe(time.Duration(n))
+	return n, nil
+}
+
+func (s *Service) deliverTo(m kvstore.Member, ev Event) bool {
+	s.mu.Lock()
+	sub := s.hosts[string(m)]
+	s.mu.Unlock()
+	if sub == nil {
+		return false
+	}
+	sub.Deliver(ev)
+	return true
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,104 @@
+package pylon
+
+import "fmt"
+
+// Topic shards map onto Pylon servers. The default placement is modular
+// (shard % servers); MoveShard reassigns a single shard, which is how load
+// is rebalanced incrementally — one shard at a time — without a global
+// reshuffle (paper §3.1). Per-server load counters identify the servers to
+// drain.
+
+// MoveShard reassigns shard to server. It returns an error for
+// out-of-range arguments or when the target server is down.
+func (s *Service) MoveShard(shard, server int) error {
+	if shard < 0 || shard >= s.cfg.Shards {
+		return fmt.Errorf("pylon: shard %d out of range [0,%d)", shard, s.cfg.Shards)
+	}
+	if server < 0 || server >= s.cfg.Servers {
+		return fmt.Errorf("pylon: server %d out of range [0,%d)", server, s.cfg.Servers)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.serverUp[server] {
+		return fmt.Errorf("pylon: server %d is down", server)
+	}
+	if s.shardOverride == nil {
+		s.shardOverride = make(map[int]int)
+	}
+	if server == shard%s.cfg.Servers {
+		delete(s.shardOverride, shard) // back to the default placement
+	} else {
+		s.shardOverride[shard] = server
+	}
+	return nil
+}
+
+// Overrides returns the number of shards placed off their default server.
+func (s *Service) Overrides() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shardOverride)
+}
+
+// ServerLoad returns the number of publishes handled by server i since
+// startup.
+func (s *Service) ServerLoad(i int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.serverLoad) {
+		return 0
+	}
+	return s.serverLoad[i]
+}
+
+// HottestServer returns the server index with the highest publish load.
+func (s *Service) HottestServer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, bestLoad := 0, int64(-1)
+	for i, l := range s.serverLoad {
+		if l > bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// RebalanceOne moves the hottest server's lowest-numbered owned shard to
+// the least-loaded up server and returns (shard, from, to). It is the
+// "one shard at a time" operation an operator (or an automation loop)
+// applies repeatedly.
+func (s *Service) RebalanceOne() (shard, from, to int, err error) {
+	s.mu.Lock()
+	from, to = 0, -1
+	var fromLoad, toLoad int64 = -1, 1 << 62
+	for i := range s.serverLoad {
+		if s.serverLoad[i] > fromLoad {
+			from, fromLoad = i, s.serverLoad[i]
+		}
+		if s.serverUp[i] && s.serverLoad[i] < toLoad {
+			to, toLoad = i, s.serverLoad[i]
+		}
+	}
+	if to == -1 || from == to {
+		s.mu.Unlock()
+		return 0, from, to, fmt.Errorf("pylon: no rebalance target")
+	}
+	// Find a shard currently owned by `from`.
+	shard = -1
+	for sh := 0; sh < s.cfg.Shards; sh++ {
+		owner, ok := s.shardOverride[sh]
+		if !ok {
+			owner = sh % s.cfg.Servers
+		}
+		if owner == from {
+			shard = sh
+			break
+		}
+	}
+	s.mu.Unlock()
+	if shard == -1 {
+		return 0, from, to, fmt.Errorf("pylon: server %d owns no shards", from)
+	}
+	return shard, from, to, s.MoveShard(shard, to)
+}

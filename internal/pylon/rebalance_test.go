@@ -1,0 +1,217 @@
+package pylon
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMoveShardValidation(t *testing.T) {
+	s, _ := newService(t)
+	if err := s.MoveShard(-1, 0); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if err := s.MoveShard(0, 99); err == nil {
+		t.Error("bad server accepted")
+	}
+	s.SetServerUp(2, false)
+	if err := s.MoveShard(0, 2); err == nil {
+		t.Error("move to down server accepted")
+	}
+}
+
+func TestMoveShardChangesOwnership(t *testing.T) {
+	s, _ := newService(t)
+	topic := Topic("/LVC/7")
+	orig := s.ServerFor(topic)
+	target := (orig + 1) % DefaultConfig().Servers
+	if err := s.MoveShard(s.Shard(topic), target); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ServerFor(topic); got != target {
+		t.Errorf("ServerFor = %d, want %d", got, target)
+	}
+	if s.Overrides() != 1 {
+		t.Errorf("Overrides = %d", s.Overrides())
+	}
+	// Moving back to the default clears the override.
+	if err := s.MoveShard(s.Shard(topic), orig); err != nil {
+		t.Fatal(err)
+	}
+	if s.Overrides() != 0 {
+		t.Errorf("Overrides after restore = %d", s.Overrides())
+	}
+}
+
+func TestServerLoadAccounting(t *testing.T) {
+	s, _ := newService(t)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	topic := Topic("/busy")
+	_ = s.Subscribe(topic, "h")
+	srv := s.ServerFor(topic)
+	for i := 0; i < 25; i++ {
+		if _, err := s.Publish(Event{Topic: topic}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ServerLoad(srv); got != 25 {
+		t.Errorf("ServerLoad(%d) = %d, want 25", srv, got)
+	}
+	if s.ServerLoad(99) != 0 {
+		t.Error("out-of-range load not zero")
+	}
+	if s.HottestServer() != srv {
+		t.Errorf("HottestServer = %d, want %d", s.HottestServer(), srv)
+	}
+}
+
+func TestRebalanceOneMovesHotShard(t *testing.T) {
+	s, _ := newService(t)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	topic := Topic("/hotspot")
+	_ = s.Subscribe(topic, "h")
+	for i := 0; i < 50; i++ {
+		_, _ = s.Publish(Event{Topic: topic})
+	}
+	hot := s.HottestServer()
+	shard, from, to, err := s.RebalanceOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != hot {
+		t.Errorf("rebalanced from %d, want hottest %d", from, hot)
+	}
+	if to == from {
+		t.Error("moved to the same server")
+	}
+	if shard%DefaultConfig().Servers != from && s.Overrides() == 0 {
+		t.Error("no override recorded")
+	}
+	// New publishes to topics on the moved shard land on the new server.
+	// (The hotspot topic's shard may or may not be the moved one; assert
+	// via direct ownership instead.)
+	s.mu.Lock()
+	owner := s.serverForShardLocked(shard)
+	s.mu.Unlock()
+	if owner != to {
+		t.Errorf("shard %d owner = %d, want %d", shard, owner, to)
+	}
+}
+
+func TestPublishFollowsOverride(t *testing.T) {
+	s, _ := newService(t)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	topic := Topic("/moved")
+	_ = s.Subscribe(topic, "h")
+	orig := s.ServerFor(topic)
+	target := (orig + 3) % DefaultConfig().Servers
+	if err := s.MoveShard(s.Shard(topic), target); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, _ = s.Publish(Event{Topic: topic})
+	}
+	if got := s.ServerLoad(target); got != 5 {
+		t.Errorf("moved-to server load = %d, want 5", got)
+	}
+	if got := s.ServerLoad(orig); got != 0 {
+		t.Errorf("original server load = %d, want 0", got)
+	}
+}
+
+func TestPublishFailsOverToUpServer(t *testing.T) {
+	s, _ := newService(t)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	topic := Topic("/failover")
+	_ = s.Subscribe(topic, "h")
+	owner := s.ServerFor(topic)
+	s.SetServerUp(owner, false)
+	if _, err := s.Publish(Event{Topic: topic}); err != nil {
+		t.Fatalf("publish with downed owner: %v", err)
+	}
+	// Some other (up) server absorbed the publish.
+	var total int64
+	for i := 0; i < DefaultConfig().Servers; i++ {
+		if i != owner {
+			total += s.ServerLoad(i)
+		}
+	}
+	if total != 1 {
+		t.Errorf("failover load = %d, want 1", total)
+	}
+}
+
+func TestRebalanceLoopDrainsHotServer(t *testing.T) {
+	// Drive skewed load, then apply RebalanceOne a few times and verify
+	// the override count grows (one shard moved per call).
+	s, _ := newService(t)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	for i := 0; i < 10; i++ {
+		topic := Topic(fmt.Sprintf("/skew/%d", i))
+		_ = s.Subscribe(topic, "h")
+		_, _ = s.Publish(Event{Topic: topic})
+	}
+	before := s.Overrides()
+	moved := 0
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := s.RebalanceOne(); err == nil {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no rebalance succeeded")
+	}
+	if s.Overrides() < before {
+		t.Error("override count decreased")
+	}
+}
+
+// TestRebalanceRacingPublishes moves shards while publishes and subscribes
+// run concurrently: no publish may be lost or misrouted to a down server.
+// Run with -race.
+func TestRebalanceRacingPublishes(t *testing.T) {
+	s, _ := newService(t)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	const topics = 20
+	for i := 0; i < topics; i++ {
+		if err := s.Subscribe(Topic(fmt.Sprintf("/race/%d", i)), "h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_, _, _, _ = s.RebalanceOne()
+			_ = s.MoveShard(i%DefaultConfig().Shards, i%DefaultConfig().Servers)
+		}
+	}()
+	var published int64
+	for i := 0; i < 500; i++ {
+		n, err := s.Publish(Event{Topic: Topic(fmt.Sprintf("/race/%d", i%topics))})
+		if err != nil {
+			t.Fatalf("publish during rebalance: %v", err)
+		}
+		if n != 1 {
+			t.Fatalf("publish %d fanout = %d", i, n)
+		}
+		published++
+	}
+	<-done
+	if h.count() != 500 {
+		t.Errorf("host received %d events, want 500", h.count())
+	}
+	// Load accounting still sums to the publish count.
+	var load int64
+	for i := 0; i < DefaultConfig().Servers; i++ {
+		load += s.ServerLoad(i)
+	}
+	if load != published {
+		t.Errorf("sum of server loads = %d, want %d", load, published)
+	}
+}

@@ -1,0 +1,83 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used to drive Bladerunner experiments over simulated 24-hour horizons,
+// along with clock abstractions shared by the live (wall-clock) system.
+//
+// Components in this repository never call time.Now directly; they accept a
+// Clock so the same logic runs both against real time (examples, protocol
+// tests) and against the event-driven virtual time used by the experiment
+// harness in internal/experiments.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the system.
+type Clock interface {
+	// Now returns the current time. For the virtual clock this is the
+	// simulation time, which only advances when events are processed.
+	Now() time.Time
+}
+
+// Scheduler extends Clock with the ability to run a function at a later
+// time. The live implementation uses time.AfterFunc; the virtual
+// implementation enqueues a simulation event.
+type Scheduler interface {
+	Clock
+	// After schedules fn to run d after the current time. It returns a
+	// cancel function; cancelling after the callback has started is a
+	// no-op. d <= 0 schedules fn for immediate execution (still
+	// asynchronously with respect to the caller).
+	After(d time.Duration, fn func()) (cancel func())
+}
+
+// RealClock is a Scheduler backed by the wall clock.
+type RealClock struct{}
+
+// Now returns the wall-clock time.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After schedules fn on the wall clock via time.AfterFunc.
+func (RealClock) After(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
+var _ Scheduler = RealClock{}
+
+// ManualClock is a Clock whose time is advanced explicitly by tests.
+// It is safe for concurrent use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a ManualClock starting at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Set sets the clock to t. Setting time backwards is allowed (tests only).
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

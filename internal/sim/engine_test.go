@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(t0)
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != t0.Add(30*time.Millisecond) {
+		t.Errorf("Now = %v, want %v", e.Now(), t0.Add(30*time.Millisecond))
+	}
+}
+
+func TestEngineFIFOForEqualTimestamps(t *testing.T) {
+	e := NewEngine(t0)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(t0)
+	ran := false
+	cancel := e.After(time.Second, func() { ran = true })
+	cancel()
+	cancel() // idempotent
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(t0)
+	var times []time.Duration
+	e.After(time.Second, func() {
+		times = append(times, e.Now().Sub(t0))
+		e.After(time.Second, func() {
+			times = append(times, e.Now().Sub(t0))
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("nested times = %v", times)
+	}
+}
+
+func TestEngineRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine(t0)
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Minute, func() { count++ })
+	}
+	e.RunUntil(t0.Add(5 * time.Minute))
+	if count != 5 {
+		t.Errorf("events before deadline = %d, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", e.Pending())
+	}
+	if e.Now() != t0.Add(5*time.Minute) {
+		t.Errorf("Now = %v", e.Now())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("total events = %d, want 10", count)
+	}
+}
+
+func TestEngineRunForAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(t0)
+	e.RunFor(time.Hour)
+	if e.Now() != t0.Add(time.Hour) {
+		t.Errorf("Now = %v, want +1h", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine(t0)
+	var at time.Time
+	e.At(t0.Add(-time.Hour), func() { at = e.Now() })
+	e.Run()
+	if at != t0 {
+		t.Errorf("past event ran at %v, want %v", at, t0)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := NewEngine(t0)
+		rng := rand.New(rand.NewSource(seed))
+		var out []time.Duration
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			out = append(out, e.Now().Sub(t0))
+			if depth < 3 {
+				for i := 0; i < 3; i++ {
+					d := time.Duration(rng.Intn(1000)) * time.Millisecond
+					e.After(d, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		e.After(0, func() { spawn(0) })
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(t0)
+	if c.Now() != t0 {
+		t.Fatal("initial time wrong")
+	}
+	c.Advance(90 * time.Second)
+	if c.Now() != t0.Add(90*time.Second) {
+		t.Errorf("Advance: Now = %v", c.Now())
+	}
+	c.Set(t0)
+	if c.Now() != t0 {
+		t.Errorf("Set: Now = %v", c.Now())
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	done := make(chan struct{})
+	RealClock{}.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RealClock.After never fired")
+	}
+}
+
+func TestRealClockCancel(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	cancel := RealClock{}.After(50*time.Millisecond, func() { fired <- struct{}{} })
+	cancel()
+	select {
+	case <-fired:
+		t.Fatal("cancelled timer fired")
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+// Property: events always execute in non-decreasing time order regardless of
+// the insertion pattern.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(t0)
+		var prev time.Time
+		ok := true
+		for _, d := range delays {
+			e.After(time.Duration(d)*time.Millisecond, func() {
+				if e.Now().Before(prev) {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Users: 0}); err == nil {
+		t.Error("Users=0 accepted")
+	}
+	if _, err := Generate(Config{Users: 10, MeanFriends: 10}); err == nil {
+		t.Error("MeanFriends >= Users accepted")
+	}
+	if _, err := Generate(Config{Users: 10, MeanFriends: -1}); err == nil {
+		t.Error("negative MeanFriends accepted")
+	}
+}
+
+func TestFriendshipIsSymmetric(t *testing.T) {
+	g := testGraph(t)
+	for id := UserID(1); id <= UserID(g.NumUsers()); id++ {
+		for _, f := range g.Friends(id) {
+			if !g.AreFriends(f, id) {
+				t.Fatalf("friendship %d->%d not symmetric", id, f)
+			}
+		}
+	}
+}
+
+func TestNoSelfFriendship(t *testing.T) {
+	g := testGraph(t)
+	for id := UserID(1); id <= UserID(g.NumUsers()); id++ {
+		if g.AreFriends(id, id) {
+			t.Fatalf("user %d is friends with itself", id)
+		}
+	}
+}
+
+func TestFriendListsSortedAndUnique(t *testing.T) {
+	g := testGraph(t)
+	for id := UserID(1); id <= UserID(g.NumUsers()); id++ {
+		fl := g.Friends(id)
+		for i := 1; i < len(fl); i++ {
+			if fl[i] <= fl[i-1] {
+				t.Fatalf("friend list of %d not sorted/unique at %d: %v", id, i, fl[i-1:i+1])
+			}
+		}
+	}
+}
+
+func TestDegreeDistributionHeavyTailed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 5000
+	cfg.MeanFriends = 40
+	g := MustGenerate(cfg)
+	st := g.Degrees()
+	if st.Mean < 20 || st.Mean > 120 {
+		t.Errorf("mean degree %v wildly off target 40", st.Mean)
+	}
+	// Heavy tail: max degree should far exceed the mean.
+	if float64(st.Max) < 3*st.Mean {
+		t.Errorf("max degree %d not heavy-tailed vs mean %v", st.Max, st.Mean)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := DefaultConfig()
+	a, b := MustGenerate(cfg), MustGenerate(cfg)
+	for id := UserID(1); id <= UserID(cfg.Users); id++ {
+		fa, fb := a.Friends(id), b.Friends(id)
+		if len(fa) != len(fb) {
+			t.Fatalf("user %d: friend counts differ across runs", id)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("user %d: friend lists differ", id)
+			}
+		}
+		if a.User(id) != b.User(id) {
+			t.Fatalf("user %d record differs", id)
+		}
+	}
+}
+
+func TestSeedChangesGraph(t *testing.T) {
+	cfg := DefaultConfig()
+	a := MustGenerate(cfg)
+	cfg.Seed = 999
+	b := MustGenerate(cfg)
+	same := true
+	for id := UserID(1); id <= UserID(cfg.Users) && same; id++ {
+		if len(a.Friends(id)) != len(b.Friends(id)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical degree sequences")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	g := testGraph(t)
+	if g.Blocks(1, 2) {
+		// Possible but astronomically unlikely for these exact IDs with
+		// the default config; tolerate by skipping the explicit check.
+		t.Log("users 1,2 blocked by generator; continuing")
+	}
+	g.Block(1, 2)
+	if !g.Blocks(1, 2) {
+		t.Error("Block(1,2) not visible")
+	}
+	if g.Blocks(2, 1) {
+		t.Error("blocking is directional; 2 should not block 1")
+	}
+}
+
+func TestGeneratorProducesSomeBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 2000
+	cfg.BlockProb = 0.3
+	g := MustGenerate(cfg)
+	found := false
+	for i := 0; i < 2000 && !found; i++ {
+		for j := 1; j <= 2000; j++ {
+			if g.Blocks(UserID(i+1), UserID(j)) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no blocks generated with BlockProb=0.3")
+	}
+}
+
+func TestCelebrityFraction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 20000
+	cfg.CelebrityFraction = 0.01
+	g := MustGenerate(cfg)
+	celebs := 0
+	for id := UserID(1); id <= UserID(cfg.Users); id++ {
+		if g.User(id).Celebrity {
+			celebs++
+		}
+	}
+	frac := float64(celebs) / float64(cfg.Users)
+	if frac < 0.005 || frac > 0.02 {
+		t.Errorf("celebrity fraction %v, want ~0.01", frac)
+	}
+}
+
+func TestRandomUserInRange(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		id := g.RandomUser(rng)
+		if id < 1 || int(id) > g.NumUsers() {
+			t.Fatalf("RandomUser out of range: %d", id)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := testGraph(t)
+	for _, fn := range []func(){
+		func() { g.User(0) },
+		func() { g.Friends(UserID(g.NumUsers() + 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range id")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroMeanFriends(t *testing.T) {
+	g := MustGenerate(Config{Users: 10, Seed: 1})
+	for id := UserID(1); id <= 10; id++ {
+		if len(g.Friends(id)) != 0 {
+			t.Errorf("user %d has friends with MeanFriends=0", id)
+		}
+	}
+	if st := g.Degrees(); st.Max != 0 || st.Mean != 0 {
+		t.Errorf("Degrees = %+v", st)
+	}
+}
+
+// Property: AreFriends agrees with membership in the Friends slice.
+func TestAreFriendsConsistentProperty(t *testing.T) {
+	g := MustGenerate(Config{Users: 300, MeanFriends: 20, Seed: 3})
+	f := func(a, b uint16) bool {
+		ua := UserID(a%300 + 1)
+		ub := UserID(b%300 + 1)
+		inList := false
+		for _, fr := range g.Friends(ua) {
+			if fr == ub {
+				inList = true
+				break
+			}
+		}
+		return g.AreFriends(ua, ub) == inList
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package tao implements a faithful miniature of TAO, Facebook's
+// distributed social-graph store (Bronson et al., USENIX ATC '13), which is
+// the storage substrate Bladerunner sits in front of.
+//
+// The model preserves the properties the paper's evaluation depends on:
+//
+//   - Objects and typed associations, sharded by id. A point query (object
+//     get, or a specific association) touches exactly one shard.
+//   - Association lists are time-ordered and, when they grow hot, their
+//     index is partitioned across many shards — so range queries ("all
+//     comments on video V since T") touch many shards, and intersect
+//     queries touch even more. This is the cost asymmetry that makes
+//     polling expensive and BRASS point-fetches cheap (paper §1, §5).
+//   - Leader/follower caching with asynchronous invalidation, so reads are
+//     served close to the reader and writes invalidate remote followers
+//     after a replication delay.
+//
+// All methods are safe for concurrent use.
+package tao
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bladerunner/internal/metrics"
+	"bladerunner/internal/sim"
+)
+
+// ObjID identifies an object (node) in the graph store.
+type ObjID uint64
+
+// ObjType is the type tag of an object ("user", "video", "comment", ...).
+type ObjType string
+
+// AssocType is the type tag of an association (edge), e.g. "commented_on".
+type AssocType string
+
+// ErrNotFound is returned when an object or association does not exist.
+var ErrNotFound = errors.New("tao: not found")
+
+// Object is a node with a free-form property bag.
+type Object struct {
+	ID      ObjID
+	Type    ObjType
+	Data    map[string]string
+	Created time.Time
+	Version uint64
+}
+
+// Assoc is a typed, directed edge from ID1 to ID2 with a timestamp and
+// payload. The inverse edge is not created implicitly.
+type Assoc struct {
+	ID1  ObjID
+	Type AssocType
+	ID2  ObjID
+	Time time.Time
+	Data string
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Shards is the number of storage shards. Must be > 0.
+	Shards int
+	// IndexShardCapacity models index partitioning for hot association
+	// lists: a range query over a list of length L is accounted as
+	// touching ceil(L/IndexShardCapacity) shards (minimum 1). The paper's
+	// footnote 5 describes why hot lists must span many shards.
+	IndexShardCapacity int
+}
+
+// DefaultConfig returns a Store configuration suitable for tests and the
+// experiment harness.
+func DefaultConfig() Config {
+	return Config{Shards: 64, IndexShardCapacity: 512}
+}
+
+// Store is the sharded graph store (the "TAO leader" tier).
+type Store struct {
+	cfg    Config
+	clock  sim.Clock
+	shards []*shard
+	nextID sync.Mutex // guards idCounter
+	idCtr  ObjID
+
+	stats *Stats
+}
+
+type assocKey struct {
+	id1 ObjID
+	typ AssocType
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	objects map[ObjID]*Object
+	// assocs holds time-descending association lists.
+	assocs map[assocKey][]Assoc
+}
+
+// NewStore builds a Store with the given configuration and clock.
+func NewStore(cfg Config, clock sim.Clock) (*Store, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("tao: Shards must be positive, got %d", cfg.Shards)
+	}
+	if cfg.IndexShardCapacity <= 0 {
+		return nil, fmt.Errorf("tao: IndexShardCapacity must be positive, got %d",
+			cfg.IndexShardCapacity)
+	}
+	if clock == nil {
+		clock = sim.RealClock{}
+	}
+	s := &Store{cfg: cfg, clock: clock, stats: NewStats()}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			objects: make(map[ObjID]*Object),
+			assocs:  make(map[assocKey][]Assoc),
+		}
+	}
+	return s, nil
+}
+
+// MustNewStore is NewStore that panics on error.
+func MustNewStore(cfg Config, clock sim.Clock) *Store {
+	s, err := NewStore(cfg, clock)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Stats returns the store's query statistics.
+func (s *Store) Stats() *Stats { return s.stats }
+
+func (s *Store) shardFor(id ObjID) *shard {
+	// Fibonacci hashing spreads sequential IDs across shards.
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// ObjectAdd creates a new object of the given type with data and returns
+// its allocated ID.
+func (s *Store) ObjectAdd(typ ObjType, data map[string]string) ObjID {
+	s.nextID.Lock()
+	s.idCtr++
+	id := s.idCtr
+	s.nextID.Unlock()
+
+	obj := &Object{ID: id, Type: typ, Data: cloneData(data), Created: s.clock.Now(), Version: 1}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.objects[id] = obj
+	sh.mu.Unlock()
+	s.stats.recordWrite(1)
+	return id
+}
+
+// ObjectGet returns a copy of the object with the given id. This is a point
+// query touching one shard.
+func (s *Store) ObjectGet(id ObjID) (Object, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	obj, ok := sh.objects[id]
+	var out Object
+	if ok {
+		out = *obj
+		out.Data = cloneData(obj.Data)
+	}
+	sh.mu.RUnlock()
+	s.stats.recordPoint(1)
+	if !ok {
+		return Object{}, fmt.Errorf("object %d: %w", id, ErrNotFound)
+	}
+	return out, nil
+}
+
+// ObjectUpdate merges data into the object's property bag and bumps its
+// version.
+func (s *Store) ObjectUpdate(id ObjID, data map[string]string) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj, ok := sh.objects[id]
+	if !ok {
+		return fmt.Errorf("object %d: %w", id, ErrNotFound)
+	}
+	if obj.Data == nil {
+		obj.Data = make(map[string]string, len(data))
+	}
+	for k, v := range data {
+		obj.Data[k] = v
+	}
+	obj.Version++
+	s.stats.recordWrite(1)
+	return nil
+}
+
+// ObjectDelete removes the object. Associations referencing it are not
+// cascaded (TAO semantics).
+func (s *Store) ObjectDelete(id ObjID) error {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.objects[id]; !ok {
+		return fmt.Errorf("object %d: %w", id, ErrNotFound)
+	}
+	delete(sh.objects, id)
+	s.stats.recordWrite(1)
+	return nil
+}
+
+// AssocAdd inserts (or updates) the association (id1, typ, id2) with the
+// given timestamp and payload.
+func (s *Store) AssocAdd(id1 ObjID, typ AssocType, id2 ObjID, t time.Time, data string) {
+	sh := s.shardFor(id1)
+	key := assocKey{id1, typ}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lst := sh.assocs[key]
+	// Replace if present.
+	for i := range lst {
+		if lst[i].ID2 == id2 {
+			lst[i].Time = t
+			lst[i].Data = data
+			sortAssocsDesc(lst)
+			s.stats.recordWrite(1)
+			return
+		}
+	}
+	lst = append(lst, Assoc{ID1: id1, Type: typ, ID2: id2, Time: t, Data: data})
+	sortAssocsDesc(lst)
+	sh.assocs[key] = lst
+	s.stats.recordWrite(1)
+}
+
+// AssocDelete removes the association (id1, typ, id2).
+func (s *Store) AssocDelete(id1 ObjID, typ AssocType, id2 ObjID) error {
+	sh := s.shardFor(id1)
+	key := assocKey{id1, typ}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lst := sh.assocs[key]
+	for i := range lst {
+		if lst[i].ID2 == id2 {
+			sh.assocs[key] = append(lst[:i], lst[i+1:]...)
+			s.stats.recordWrite(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("assoc (%d,%s,%d): %w", id1, typ, id2, ErrNotFound)
+}
+
+// AssocGet returns the association (id1, typ, id2) — a point query.
+func (s *Store) AssocGet(id1 ObjID, typ AssocType, id2 ObjID) (Assoc, error) {
+	sh := s.shardFor(id1)
+	key := assocKey{id1, typ}
+	sh.mu.RLock()
+	defer func() {
+		sh.mu.RUnlock()
+		s.stats.recordPoint(1)
+	}()
+	for _, a := range sh.assocs[key] {
+		if a.ID2 == id2 {
+			return a, nil
+		}
+	}
+	return Assoc{}, fmt.Errorf("assoc (%d,%s,%d): %w", id1, typ, id2, ErrNotFound)
+}
+
+// AssocCount returns the size of the association list (id1, typ). Point
+// query (TAO maintains counts inline).
+func (s *Store) AssocCount(id1 ObjID, typ AssocType) int {
+	sh := s.shardFor(id1)
+	sh.mu.RLock()
+	n := len(sh.assocs[assocKey{id1, typ}])
+	sh.mu.RUnlock()
+	s.stats.recordPoint(1)
+	return n
+}
+
+// AssocRange returns up to limit associations from (id1, typ), newest
+// first, skipping offset. This is a range query whose shard cost scales
+// with the underlying list size (hot lists are index-partitioned).
+func (s *Store) AssocRange(id1 ObjID, typ AssocType, offset, limit int) []Assoc {
+	sh := s.shardFor(id1)
+	key := assocKey{id1, typ}
+	sh.mu.RLock()
+	lst := sh.assocs[key]
+	out := sliceRange(lst, offset, limit)
+	total := len(lst)
+	sh.mu.RUnlock()
+	s.stats.recordRange(s.rangeShardCost(total))
+	return out
+}
+
+// AssocTimeRange returns up to limit associations from (id1, typ) with
+// Time in (since, until], newest first. A zero until means "now".
+func (s *Store) AssocTimeRange(id1 ObjID, typ AssocType, since, until time.Time, limit int) []Assoc {
+	if until.IsZero() {
+		until = s.clock.Now()
+	}
+	sh := s.shardFor(id1)
+	key := assocKey{id1, typ}
+	sh.mu.RLock()
+	lst := sh.assocs[key]
+	out := make([]Assoc, 0, limit)
+	for _, a := range lst { // newest first
+		if !a.Time.After(since) {
+			break
+		}
+		if a.Time.After(until) {
+			continue
+		}
+		out = append(out, a)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	total := len(lst)
+	sh.mu.RUnlock()
+	s.stats.recordRange(s.rangeShardCost(total))
+	return out
+}
+
+// Intersect returns the associations in (id1a, typA) whose ID2 also appears
+// as ID2 in (id1b, typB) — e.g. "comments on video V by friends of U".
+// Intersect queries are the most expensive TAO operation; their cost is the
+// sum of both range costs (paper §1, §2).
+func (s *Store) Intersect(id1a ObjID, typA AssocType, id1b ObjID, typB AssocType, limit int) []Assoc {
+	shA := s.shardFor(id1a)
+	shA.mu.RLock()
+	la := append([]Assoc(nil), shA.assocs[assocKey{id1a, typA}]...)
+	shA.mu.RUnlock()
+
+	shB := s.shardFor(id1b)
+	shB.mu.RLock()
+	lb := shB.assocs[assocKey{id1b, typB}]
+	set := make(map[ObjID]bool, len(lb))
+	for _, a := range lb {
+		set[a.ID2] = true
+	}
+	lbLen := len(lb)
+	shB.mu.RUnlock()
+
+	out := make([]Assoc, 0, limit)
+	for _, a := range la {
+		if set[a.ID2] {
+			out = append(out, a)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	s.stats.recordIntersect(s.rangeShardCost(len(la)) + s.rangeShardCost(lbLen))
+	return out
+}
+
+// rangeShardCost models index partitioning: a list of length n spans
+// ceil(n/IndexShardCapacity) shards, minimum 1.
+func (s *Store) rangeShardCost(n int) int {
+	c := (n + s.cfg.IndexShardCapacity - 1) / s.cfg.IndexShardCapacity
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func sliceRange(lst []Assoc, offset, limit int) []Assoc {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(lst) {
+		return nil
+	}
+	end := len(lst)
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	out := make([]Assoc, end-offset)
+	copy(out, lst[offset:end])
+	return out
+}
+
+func sortAssocsDesc(lst []Assoc) {
+	sort.SliceStable(lst, func(i, j int) bool { return lst[i].Time.After(lst[j].Time) })
+}
+
+func cloneData(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats aggregates query accounting for a Store: the experiment harness
+// uses it to compare polling (range/intersect heavy) against Bladerunner
+// (point heavy). Safe for concurrent use.
+type Stats struct {
+	PointQueries     metrics.Counter
+	RangeQueries     metrics.Counter
+	IntersectQueries metrics.Counter
+	Writes           metrics.Counter
+	// ShardAccesses counts total shard touches across all queries: the
+	// paper's IOPS proxy.
+	ShardAccesses metrics.Counter
+}
+
+// NewStats returns zeroed Stats.
+func NewStats() *Stats { return &Stats{} }
+
+func (st *Stats) recordPoint(shards int) {
+	st.PointQueries.Inc()
+	st.ShardAccesses.Add(int64(shards))
+}
+
+func (st *Stats) recordRange(shards int) {
+	st.RangeQueries.Inc()
+	st.ShardAccesses.Add(int64(shards))
+}
+
+func (st *Stats) recordIntersect(shards int) {
+	st.IntersectQueries.Inc()
+	st.ShardAccesses.Add(int64(shards))
+}
+
+func (st *Stats) recordWrite(shards int) {
+	st.Writes.Inc()
+	st.ShardAccesses.Add(int64(shards))
+}
+
+// Reads returns the total number of read queries.
+func (st *Stats) Reads() int64 {
+	return st.PointQueries.Value() + st.RangeQueries.Value() + st.IntersectQueries.Value()
+}

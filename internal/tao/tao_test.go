@@ -1,0 +1,375 @@
+package tao
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+var t0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func newTestStore(t *testing.T) (*Store, *sim.ManualClock) {
+	t.Helper()
+	clk := sim.NewManualClock(t0)
+	return MustNewStore(DefaultConfig(), clk), clk
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(Config{Shards: 0, IndexShardCapacity: 1}, nil); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := NewStore(Config{Shards: 1, IndexShardCapacity: 0}, nil); err == nil {
+		t.Error("IndexShardCapacity=0 accepted")
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	s, clk := newTestStore(t)
+	id := s.ObjectAdd("user", map[string]string{"name": "ada"})
+	obj, err := s.ObjectGet(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Type != "user" || obj.Data["name"] != "ada" || obj.Version != 1 {
+		t.Errorf("obj = %+v", obj)
+	}
+	if !obj.Created.Equal(clk.Now()) {
+		t.Errorf("Created = %v", obj.Created)
+	}
+
+	if err := s.ObjectUpdate(id, map[string]string{"name": "lovelace", "role": "eng"}); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ = s.ObjectGet(id)
+	if obj.Data["name"] != "lovelace" || obj.Data["role"] != "eng" || obj.Version != 2 {
+		t.Errorf("after update: %+v", obj)
+	}
+
+	if err := s.ObjectDelete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ObjectGet(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := s.ObjectDelete(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := s.ObjectUpdate(id, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update missing: %v", err)
+	}
+}
+
+func TestObjectGetReturnsCopy(t *testing.T) {
+	s, _ := newTestStore(t)
+	id := s.ObjectAdd("user", map[string]string{"k": "v"})
+	obj, _ := s.ObjectGet(id)
+	obj.Data["k"] = "mutated"
+	obj2, _ := s.ObjectGet(id)
+	if obj2.Data["k"] != "v" {
+		t.Error("caller mutation leaked into store")
+	}
+}
+
+func TestObjectIDsUnique(t *testing.T) {
+	s, _ := newTestStore(t)
+	seen := make(map[ObjID]bool)
+	for i := 0; i < 1000; i++ {
+		id := s.ObjectAdd("x", nil)
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAssocAddGetDelete(t *testing.T) {
+	s, _ := newTestStore(t)
+	s.AssocAdd(1, "friend", 2, t0, "since 2010")
+	a, err := s.AssocGet(1, "friend", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data != "since 2010" || a.ID1 != 1 || a.ID2 != 2 {
+		t.Errorf("assoc = %+v", a)
+	}
+	if _, err := s.AssocGet(1, "friend", 3); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing assoc: %v", err)
+	}
+	if err := s.AssocDelete(1, "friend", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssocDelete(1, "friend", 2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestAssocAddUpsert(t *testing.T) {
+	s, _ := newTestStore(t)
+	s.AssocAdd(1, "likes", 5, t0, "old")
+	s.AssocAdd(1, "likes", 5, t0.Add(time.Hour), "new")
+	if n := s.AssocCount(1, "likes"); n != 1 {
+		t.Fatalf("count after upsert = %d", n)
+	}
+	a, _ := s.AssocGet(1, "likes", 5)
+	if a.Data != "new" || !a.Time.Equal(t0.Add(time.Hour)) {
+		t.Errorf("upserted assoc = %+v", a)
+	}
+}
+
+func TestAssocRangeNewestFirst(t *testing.T) {
+	s, _ := newTestStore(t)
+	for i := 0; i < 10; i++ {
+		s.AssocAdd(42, "comment", ObjID(100+i), t0.Add(time.Duration(i)*time.Second), "")
+	}
+	got := s.AssocRange(42, "comment", 0, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].ID2 != 109 || got[1].ID2 != 108 || got[2].ID2 != 107 {
+		t.Errorf("order: %v %v %v", got[0].ID2, got[1].ID2, got[2].ID2)
+	}
+	// Offset.
+	got = s.AssocRange(42, "comment", 8, 10)
+	if len(got) != 2 || got[0].ID2 != 101 {
+		t.Errorf("offset range: %+v", got)
+	}
+	// Out-of-range offset.
+	if got := s.AssocRange(42, "comment", 100, 5); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+	// limit 0 = all.
+	if got := s.AssocRange(42, "comment", 0, 0); len(got) != 10 {
+		t.Errorf("limit 0 len = %d", len(got))
+	}
+}
+
+func TestAssocTimeRange(t *testing.T) {
+	s, clk := newTestStore(t)
+	for i := 0; i < 10; i++ {
+		s.AssocAdd(7, "comment", ObjID(i+1), t0.Add(time.Duration(i)*time.Minute), "")
+	}
+	clk.Set(t0.Add(time.Hour))
+	// Since minute 4 (exclusive): minutes 5..9 = 5 entries.
+	got := s.AssocTimeRange(7, "comment", t0.Add(4*time.Minute), time.Time{}, 0)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for _, a := range got {
+		if !a.Time.After(t0.Add(4 * time.Minute)) {
+			t.Errorf("entry %v not after since", a.Time)
+		}
+	}
+	// Bounded until.
+	got = s.AssocTimeRange(7, "comment", t0.Add(4*time.Minute), t0.Add(6*time.Minute), 0)
+	if len(got) != 2 {
+		t.Errorf("bounded len = %d, want 2", len(got))
+	}
+	// Limit.
+	got = s.AssocTimeRange(7, "comment", time.Time{}.Add(time.Nanosecond), time.Time{}, 3)
+	if len(got) != 3 {
+		t.Errorf("limited len = %d", len(got))
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	s, _ := newTestStore(t)
+	// Comments on video 1 by users 10,11,12 (ID2 = commenter for this test).
+	s.AssocAdd(1, "commented_by", 10, t0.Add(1*time.Second), "")
+	s.AssocAdd(1, "commented_by", 11, t0.Add(2*time.Second), "")
+	s.AssocAdd(1, "commented_by", 12, t0.Add(3*time.Second), "")
+	// User 99's friends: 10, 12.
+	s.AssocAdd(99, "friend", 10, t0, "")
+	s.AssocAdd(99, "friend", 12, t0, "")
+
+	got := s.Intersect(1, "commented_by", 99, "friend", 0)
+	if len(got) != 2 {
+		t.Fatalf("intersect len = %d: %+v", len(got), got)
+	}
+	// Newest first: 12 then 10.
+	if got[0].ID2 != 12 || got[1].ID2 != 10 {
+		t.Errorf("intersect order: %v, %v", got[0].ID2, got[1].ID2)
+	}
+	if got := s.Intersect(1, "commented_by", 99, "friend", 1); len(got) != 1 {
+		t.Errorf("limited intersect len = %d", len(got))
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cfg := Config{Shards: 8, IndexShardCapacity: 4}
+	s := MustNewStore(cfg, sim.NewManualClock(t0))
+	id := s.ObjectAdd("u", nil) // 1 write
+	if _, err := s.ObjectGet(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PointQueries.Value(); got != 1 {
+		t.Errorf("points = %d", got)
+	}
+	// Build a 10-element list: range cost = ceil(10/4) = 3 shards.
+	for i := 0; i < 10; i++ {
+		s.AssocAdd(5, "c", ObjID(i+100), t0, "")
+	}
+	before := s.Stats().ShardAccesses.Value()
+	s.AssocRange(5, "c", 0, 0)
+	if cost := s.Stats().ShardAccesses.Value() - before; cost != 3 {
+		t.Errorf("range shard cost = %d, want 3", cost)
+	}
+	if got := s.Stats().RangeQueries.Value(); got != 1 {
+		t.Errorf("ranges = %d", got)
+	}
+	// Intersect cost = 3 (len 10) + 1 (empty list min 1) = 4.
+	before = s.Stats().ShardAccesses.Value()
+	s.Intersect(5, "c", 6, "f", 0)
+	if cost := s.Stats().ShardAccesses.Value() - before; cost != 4 {
+		t.Errorf("intersect shard cost = %d, want 4", cost)
+	}
+	if s.Stats().Reads() != 3 {
+		t.Errorf("Reads = %d", s.Stats().Reads())
+	}
+	if s.Stats().Writes.Value() != 11 {
+		t.Errorf("Writes = %d", s.Stats().Writes.Value())
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, _ := newTestStore(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := s.ObjectAdd("o", map[string]string{"g": "x"})
+				if _, err := s.ObjectGet(id); err != nil {
+					t.Errorf("get: %v", err)
+				}
+				s.AssocAdd(ObjID(g), "e", id, t0, "")
+				s.AssocRange(ObjID(g), "e", 0, 10)
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if n := s.AssocCount(ObjID(g), "e"); n != 200 {
+			t.Errorf("shard %d count = %d", g, n)
+		}
+	}
+}
+
+func TestFollowerCaching(t *testing.T) {
+	s, _ := newTestStore(t)
+	f := NewFollower(s, nil, 0)
+	id := s.ObjectAdd("u", map[string]string{"v": "1"})
+
+	if _, err := f.ObjectGet(id); err != nil {
+		t.Fatal(err)
+	}
+	if f.Misses.Value() != 1 || f.Hits.Value() != 0 {
+		t.Errorf("first read: hits=%d misses=%d", f.Hits.Value(), f.Misses.Value())
+	}
+	leaderReads := s.Stats().Reads()
+	if _, err := f.ObjectGet(id); err != nil {
+		t.Fatal(err)
+	}
+	if f.Hits.Value() != 1 {
+		t.Errorf("second read not a hit")
+	}
+	if s.Stats().Reads() != leaderReads {
+		t.Error("cache hit still queried the leader")
+	}
+	if f.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", f.HitRate())
+	}
+}
+
+func TestFollowerWriteInvalidates(t *testing.T) {
+	s, _ := newTestStore(t)
+	f := NewFollower(s, nil, 0) // zero delay: invalidate immediately
+	id := s.ObjectAdd("u", map[string]string{"v": "1"})
+	if _, err := f.ObjectGet(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ObjectUpdate(id, map[string]string{"v": "2"}); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := f.ObjectGet(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Data["v"] != "2" {
+		t.Errorf("follower served stale value %q after invalidation", obj.Data["v"])
+	}
+}
+
+func TestFollowerDelayedInvalidation(t *testing.T) {
+	eng := sim.NewEngine(t0)
+	s := MustNewStore(DefaultConfig(), eng)
+	f := NewFollower(s, eng, 100*time.Millisecond)
+	id := s.ObjectAdd("u", map[string]string{"v": "1"})
+	if _, err := f.ObjectGet(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ObjectUpdate(id, map[string]string{"v": "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Before replication delay elapses the follower may serve stale data.
+	obj, _ := f.ObjectGet(id)
+	if obj.Data["v"] != "1" {
+		t.Errorf("expected stale read before invalidation, got %q", obj.Data["v"])
+	}
+	eng.RunFor(200 * time.Millisecond)
+	obj, _ = f.ObjectGet(id)
+	if obj.Data["v"] != "2" {
+		t.Errorf("stale after invalidation: %q", obj.Data["v"])
+	}
+}
+
+func TestFollowerAssocCaching(t *testing.T) {
+	s, _ := newTestStore(t)
+	f := NewFollower(s, nil, 0)
+	s.AssocAdd(1, "c", 10, t0, "")
+	if got := f.AssocRange(1, "c", 0, 0); len(got) != 1 {
+		t.Fatalf("len = %d", len(got))
+	}
+	f.AssocAdd(1, "c", 11, t0.Add(time.Second), "")
+	got := f.AssocRange(1, "c", 0, 0)
+	if len(got) != 2 || got[0].ID2 != 11 {
+		t.Errorf("after invalidating write: %+v", got)
+	}
+}
+
+func TestFollowerMissingObject(t *testing.T) {
+	s, _ := newTestStore(t)
+	f := NewFollower(s, nil, 0)
+	if _, err := f.ObjectGet(12345); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: AssocRange(offset, limit) never returns more than limit entries
+// and preserves newest-first order.
+func TestAssocRangeProperty(t *testing.T) {
+	s, _ := newTestStore(t)
+	for i := 0; i < 100; i++ {
+		s.AssocAdd(1, "p", ObjID(i+1), t0.Add(time.Duration(i)*time.Second), "")
+	}
+	f := func(off, lim uint8) bool {
+		got := s.AssocRange(1, "p", int(off), int(lim))
+		if lim > 0 && len(got) > int(lim) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Time.After(got[i-1].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

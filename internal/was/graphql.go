@@ -1,0 +1,159 @@
+package was
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FieldCall is a parsed GraphQL-style field invocation such as
+//
+//	liveVideoComments(videoID: 7, viewer: 12)
+//
+// It is the surface syntax devices use for queries, mutations, and
+// subscription expressions. Only the subset the Bladerunner applications
+// need is supported: a field name and a flat argument list of strings and
+// integers.
+type FieldCall struct {
+	Name string
+	Args map[string]string
+}
+
+// ParseField parses a field invocation. The grammar:
+//
+//	call  := name [ '(' args ')' ]
+//	args  := arg { ',' arg }
+//	arg   := name ':' value
+//	value := int | quoted-string | bare-word
+func ParseField(s string) (FieldCall, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return FieldCall{}, fmt.Errorf("was: empty field expression")
+	}
+	open := strings.IndexByte(s, '(')
+	if open == -1 {
+		if !validName(s) {
+			return FieldCall{}, fmt.Errorf("was: invalid field name %q", s)
+		}
+		return FieldCall{Name: s, Args: map[string]string{}}, nil
+	}
+	name := strings.TrimSpace(s[:open])
+	if !validName(name) {
+		return FieldCall{}, fmt.Errorf("was: invalid field name %q", name)
+	}
+	if !strings.HasSuffix(s, ")") {
+		return FieldCall{}, fmt.Errorf("was: missing ')' in %q", s)
+	}
+	body := s[open+1 : len(s)-1]
+	args := map[string]string{}
+	if strings.TrimSpace(body) != "" {
+		for _, part := range splitArgs(body) {
+			kv := strings.SplitN(part, ":", 2)
+			if len(kv) != 2 {
+				return FieldCall{}, fmt.Errorf("was: malformed argument %q in %q", part, s)
+			}
+			k := strings.TrimSpace(kv[0])
+			v := strings.TrimSpace(kv[1])
+			if !validName(k) {
+				return FieldCall{}, fmt.Errorf("was: invalid argument name %q", k)
+			}
+			if len(v) > 0 && v[0] == '"' {
+				unq, err := strconv.Unquote(v)
+				if err != nil {
+					return FieldCall{}, fmt.Errorf("was: bad string %q: %v", v, err)
+				}
+				v = unq
+			}
+			if _, dup := args[k]; dup {
+				return FieldCall{}, fmt.Errorf("was: duplicate argument %q", k)
+			}
+			args[k] = v
+		}
+	}
+	return FieldCall{Name: name, Args: args}, nil
+}
+
+// splitArgs splits on commas not inside quotes.
+func splitArgs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Uint64Arg extracts a uint64 argument.
+func (f FieldCall) Uint64Arg(name string) (uint64, error) {
+	v, ok := f.Args[name]
+	if !ok {
+		return 0, fmt.Errorf("was: %s: missing argument %q", f.Name, name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("was: %s: argument %q: %v", f.Name, name, err)
+	}
+	return n, nil
+}
+
+// StringArg extracts a string argument.
+func (f FieldCall) StringArg(name string) (string, error) {
+	v, ok := f.Args[name]
+	if !ok {
+		return "", fmt.Errorf("was: %s: missing argument %q", f.Name, name)
+	}
+	return v, nil
+}
+
+// String renders the call back to canonical form (sorted args), used for
+// logging and as a cache key.
+func (f FieldCall) String() string {
+	if len(f.Args) == 0 {
+		return f.Name
+	}
+	keys := make([]string, 0, len(f.Args))
+	for k := range f.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", k, f.Args[k])
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package was
+
+import (
+	"math/rand"
+
+	"bladerunner/internal/socialgraph"
+)
+
+// newRand builds a math/rand source from a seed; small helper shared by the
+// publish path.
+func newRand(seed uint64) *rand.Rand { return rand.New(rand.NewSource(int64(seed))) }
+
+// QualityScore is the deterministic stand-in for the ML model that scores
+// comment quality before publishing (paper §3.4: "quality score (generated
+// by an ML algorithm)"). The score is a stable hash of the content in
+// [0,1), boosted for celebrities — only the score's distribution and
+// stability matter to the system, not its semantics.
+func QualityScore(author socialgraph.User, text string) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(text); i++ {
+		h ^= uint64(text[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(author.ID) * 0x9E3779B97F4A7C15
+	score := float64(h%10000) / 10000.0
+	if author.Celebrity {
+		// Celebrities get a floor: their comments surface even to
+		// non-friends (paper §2).
+		if score < 0.8 {
+			score = 0.8 + score*0.2
+		}
+	}
+	return score
+}
+
+// SpamThreshold is the score below which comments are considered spam or
+// low quality and discarded for all users.
+const SpamThreshold = 0.05

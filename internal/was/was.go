@@ -1,0 +1,283 @@
+// Package was implements the Web Application Server tier (paper §3, Figs
+// 3–5). The WAS is the only component that touches the social graph
+// directly: it executes GraphQL-style queries and mutations against TAO,
+// publishes update events (metadata only) to Pylon as mutations commit, and
+// performs the privacy checks required before any payload is released to a
+// device — BRASSes must call back into the WAS for every update they push.
+package was
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bladerunner/internal/metrics"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/sim"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+)
+
+// Errors returned by the executor.
+var (
+	ErrUnknownField = errors.New("was: unknown field")
+	ErrDenied       = errors.New("was: privacy check denied")
+)
+
+// Ctx is handed to resolvers: it bundles the server's dependencies plus the
+// identity the operation runs as.
+type Ctx struct {
+	Srv    *Server
+	Viewer socialgraph.UserID // 0 for system operations
+	Now    time.Time
+}
+
+// QueryFunc resolves a read field to a JSON-encodable value.
+type QueryFunc func(ctx *Ctx, call FieldCall) (any, error)
+
+// MutationFunc applies a write field and optionally returns a value.
+type MutationFunc func(ctx *Ctx, call FieldCall) (any, error)
+
+// SubscriptionFunc resolves a subscription expression to the concrete Pylon
+// topics it maps to (step 5 of Fig 3). Most subscriptions map to one topic;
+// ActiveStatus-style subscriptions map a single device subscribe to one
+// topic per friend.
+type SubscriptionFunc func(ctx *Ctx, call FieldCall) ([]pylon.Topic, error)
+
+// PayloadFunc produces the device-facing payload for an update event after
+// the privacy check passed. ref is the TAO object the event points to.
+type PayloadFunc func(ctx *Ctx, ref tao.ObjID, ev pylon.Event) (any, error)
+
+// Server is one WAS. It is safe for concurrent use.
+type Server struct {
+	TAO   *tao.Store
+	Graph *socialgraph.Graph
+	Pylon *pylon.Service
+	Sched sim.Scheduler
+
+	// RankDelay models the ML comment-quality ranking latency incurred
+	// before publishing rankable updates (Table 3: 1,790 ms of the LVC
+	// 2,000 ms update→publish time is ranking). Nil disables the delay.
+	RankDelay sim.Dist
+
+	mu            sync.Mutex
+	queries       map[string]QueryFunc
+	mutations     map[string]MutationFunc
+	subscriptions map[string]SubscriptionFunc
+	payloads      map[string]PayloadFunc
+	rng           rngSource
+
+	// Metrics.
+	Queries          metrics.Counter
+	Mutations        metrics.Counter
+	Subscriptions    metrics.Counter
+	PayloadFetches   metrics.Counter
+	PrivacyChecks    metrics.Counter
+	PrivacyDenied    metrics.Counter
+	PublishLatency   *metrics.Histogram // mutation commit → publish sent
+	CPUMillis        metrics.Counter    // modeled CPU cost accounting
+	PublishesEmitted metrics.Counter
+}
+
+// rngSource is a tiny deterministic PRNG used for sampling rank delays
+// without importing math/rand state that tests would have to seed.
+type rngSource struct{ s uint64 }
+
+func (r *rngSource) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// Modeled CPU costs in milliseconds per operation class, used for the
+// resource-usage comparisons (paper §5: poll queries cost far more than
+// point fetches).
+const (
+	cpuQueryPoint = 1
+	cpuQueryRange = 12
+	cpuMutation   = 2
+	cpuPayload    = 1
+)
+
+// New builds a WAS over the given substrates.
+func New(store *tao.Store, graph *socialgraph.Graph, pyl *pylon.Service, sched sim.Scheduler) *Server {
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+	return &Server{
+		TAO:            store,
+		Graph:          graph,
+		Pylon:          pyl,
+		Sched:          sched,
+		queries:        make(map[string]QueryFunc),
+		mutations:      make(map[string]MutationFunc),
+		subscriptions:  make(map[string]SubscriptionFunc),
+		payloads:       make(map[string]PayloadFunc),
+		rng:            rngSource{s: 0x9E3779B97F4A7C15},
+		PublishLatency: metrics.NewHistogram(),
+	}
+}
+
+// RegisterQuery installs a read resolver.
+func (s *Server) RegisterQuery(name string, fn QueryFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries[name] = fn
+}
+
+// RegisterMutation installs a write resolver.
+func (s *Server) RegisterMutation(name string, fn MutationFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mutations[name] = fn
+}
+
+// RegisterSubscription installs a subscription-to-topic resolver.
+func (s *Server) RegisterSubscription(name string, fn SubscriptionFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subscriptions[name] = fn
+}
+
+// RegisterPayload installs a payload resolver for an application name.
+func (s *Server) RegisterPayload(app string, fn PayloadFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.payloads[app] = fn
+}
+
+func (s *Server) ctx(viewer socialgraph.UserID) *Ctx {
+	return &Ctx{Srv: s, Viewer: viewer, Now: s.Sched.Now()}
+}
+
+// Query executes a read expression as viewer and returns the result
+// marshalled to JSON.
+func (s *Server) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
+	call, err := ParseField(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	fn := s.queries[call.Name]
+	s.mu.Unlock()
+	if fn == nil {
+		return nil, fmt.Errorf("%w: query %q", ErrUnknownField, call.Name)
+	}
+	s.Queries.Inc()
+	s.CPUMillis.Add(cpuQueryRange)
+	v, err := fn(s.ctx(viewer), call)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// Mutate executes a write expression as viewer.
+func (s *Server) Mutate(viewer socialgraph.UserID, expr string) ([]byte, error) {
+	call, err := ParseField(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	fn := s.mutations[call.Name]
+	s.mu.Unlock()
+	if fn == nil {
+		return nil, fmt.Errorf("%w: mutation %q", ErrUnknownField, call.Name)
+	}
+	s.Mutations.Inc()
+	s.CPUMillis.Add(cpuMutation)
+	v, err := fn(s.ctx(viewer), call)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// ResolveSubscription maps a device subscription expression to concrete
+// Pylon topics (BRASS calls this while instantiating a stream).
+func (s *Server) ResolveSubscription(viewer socialgraph.UserID, expr string) ([]pylon.Topic, error) {
+	call, err := ParseField(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	fn := s.subscriptions[call.Name]
+	s.mu.Unlock()
+	if fn == nil {
+		return nil, fmt.Errorf("%w: subscription %q", ErrUnknownField, call.Name)
+	}
+	s.Subscriptions.Inc()
+	return fn(s.ctx(viewer), call)
+}
+
+// PrivacyCheck reports whether viewer may see content authored by author.
+// In the paper's environment these checks are complex and only ever run
+// inside the WAS; every update pushed to a device passes through here.
+func (s *Server) PrivacyCheck(viewer, author socialgraph.UserID) bool {
+	s.PrivacyChecks.Inc()
+	if viewer == 0 || author == 0 {
+		return true
+	}
+	if s.Graph.Blocks(viewer, author) || s.Graph.Blocks(author, viewer) {
+		s.PrivacyDenied.Inc()
+		return false
+	}
+	return true
+}
+
+// FetchPayload is the BRASS→WAS callback (step 8 of Fig 5): it privacy-
+// checks the event's author against the viewer, then resolves the payload
+// via the application's registered PayloadFunc — a TAO point query with
+// good caching characteristics.
+func (s *Server) FetchPayload(app string, viewer socialgraph.UserID, ev pylon.Event) ([]byte, error) {
+	s.PayloadFetches.Inc()
+	s.CPUMillis.Add(cpuPayload)
+	if authorStr, ok := ev.Meta["author"]; ok {
+		var author socialgraph.UserID
+		if _, err := fmt.Sscanf(authorStr, "%d", &author); err == nil {
+			if !s.PrivacyCheck(viewer, author) {
+				return nil, fmt.Errorf("%w: viewer %d vs author %d", ErrDenied, viewer, author)
+			}
+		}
+	}
+	s.mu.Lock()
+	fn := s.payloads[app]
+	s.mu.Unlock()
+	if fn == nil {
+		return nil, fmt.Errorf("%w: payload for app %q", ErrUnknownField, app)
+	}
+	v, err := fn(s.ctx(viewer), tao.ObjID(ev.Ref), ev)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// Publish emits an update event to Pylon on behalf of a mutation. When
+// rank is true the event is held for a sampled ranking delay first (LVC
+// pre-ranks comments before publishing; Table 3). The publish latency is
+// recorded either way.
+func (s *Server) Publish(ev pylon.Event, rank bool) {
+	start := s.Sched.Now()
+	emit := func() {
+		ev.Published = s.Sched.Now()
+		if s.Pylon != nil {
+			_, _ = s.Pylon.Publish(ev)
+		}
+		s.PublishesEmitted.Inc()
+		s.PublishLatency.Observe(s.Sched.Now().Sub(start))
+	}
+	if rank && s.RankDelay != nil {
+		s.mu.Lock()
+		// Sample with a throwaway rand source seeded from the xorshift
+		// stream so publishes stay deterministic under the sim engine.
+		d := s.RankDelay.Sample(newRand(s.rng.next()))
+		s.mu.Unlock()
+		s.Sched.After(d, emit)
+		return
+	}
+	emit()
+}

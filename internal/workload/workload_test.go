@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestTable1BucketsValid(t *testing.T) {
+	if err := Validate(Table1Buckets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaUpdatesMatchesTable1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 2_000_000
+	var zero, under10, under100, over1M, over100M int
+	for i := 0; i < n; i++ {
+		u := AreaUpdates(rng, Table1Buckets)
+		switch {
+		case u == 0:
+			zero++
+		case u < 10:
+			under10++
+		case u < 100:
+			under100++
+		case u > 100_000_000:
+			over100M++
+		case u > 1_000_000:
+			over1M++
+		}
+	}
+	frac := func(c int) float64 { return float64(c) / n }
+	if f := frac(zero); f < 0.82 || f > 0.84 {
+		t.Errorf("zero fraction = %v, want ~0.83", f)
+	}
+	if f := frac(under10); f < 0.15 || f > 0.17 {
+		t.Errorf("<10 fraction = %v, want ~0.16", f)
+	}
+	if f := frac(under100); f < 0.008 || f > 0.011 {
+		t.Errorf("<100 fraction = %v, want ~0.0095", f)
+	}
+	if f := frac(over1M); f < 0.0003 || f > 0.0007 {
+		t.Errorf(">1M fraction = %v, want ~0.00049", f)
+	}
+	_ = over100M // too rare to assert tightly at this sample size
+}
+
+func TestStreamLifetimeMatchesTable2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200_000
+	var b15m, b1h, b24h, bMore int
+	for i := 0; i < n; i++ {
+		lt := StreamLifetime(rng, Table2Buckets)
+		switch {
+		case lt < 15*time.Minute:
+			b15m++
+		case lt < time.Hour:
+			b1h++
+		case lt < 24*time.Hour:
+			b24h++
+		default:
+			bMore++
+		}
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"<15m", float64(b15m) / n, 0.45},
+		{"15m-1h", float64(b1h) / n, 0.26},
+		{"1h-24h", float64(b24h) / n, 0.25},
+		{"24h+", float64(bMore) / n, 0.04},
+	}
+	for _, c := range checks {
+		if c.got < c.want-0.01 || c.got > c.want+0.01 {
+			t.Errorf("%s fraction = %v, want ~%v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDiurnalBoundsAndPeak(t *testing.T) {
+	d := Diurnal{Min: 6.5, Max: 11, PeakHour: 19}
+	day := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	lo, hi := 1e18, -1e18
+	for m := 0; m < 24*60; m += 15 {
+		v := d.At(day.Add(time.Duration(m) * time.Minute))
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < 6.49 || lo > 6.6 {
+		t.Errorf("trough = %v", lo)
+	}
+	if hi < 10.9 || hi > 11.01 {
+		t.Errorf("peak = %v", hi)
+	}
+	// Peak lands at the configured hour.
+	atPeak := d.At(day.Add(19 * time.Hour))
+	if atPeak < 10.99 {
+		t.Errorf("value at peak hour = %v", atPeak)
+	}
+}
+
+func TestPoissonSmallAndLargeMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Small mean: check the sample mean.
+	var total int64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		total += Poisson(rng, 3.0)
+	}
+	mean := float64(total) / n
+	if mean < 2.9 || mean > 3.1 {
+		t.Errorf("small-mean Poisson mean = %v", mean)
+	}
+	// Large mean: normal approximation.
+	total = 0
+	for i := 0; i < 10000; i++ {
+		v := Poisson(rng, 1e6)
+		if v < 0 {
+			t.Fatal("negative count")
+		}
+		total += v
+	}
+	mean = float64(total) / 10000
+	if mean < 0.99e6 || mean > 1.01e6 {
+		t.Errorf("large-mean Poisson mean = %v", mean)
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+func TestCommentBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := CommentBurst{BaseRatePerSec: 100, BurstMultiplier: 50, BurstProb: 0.1}
+	var base, burst int
+	for i := 0; i < 10000; i++ {
+		r := c.RateAt(rng, i)
+		switch r {
+		case 100:
+			base++
+		case 5000:
+			burst++
+		default:
+			t.Fatalf("unexpected rate %v", r)
+		}
+	}
+	if burst < 800 || burst > 1200 {
+		t.Errorf("burst seconds = %d, want ~1000", burst)
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if err := Validate([]UpdateBucket{{Prob: -1, Lo: 0, Hi: 0}}); err == nil {
+		t.Error("negative prob accepted")
+	}
+	if err := Validate([]UpdateBucket{{Prob: 1, Lo: 5, Hi: 1}}); err == nil {
+		t.Error("Lo>Hi accepted")
+	}
+}
+
+func TestLogUniformWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		v := sampleLogUniform(rng, 10, 99)
+		if v < 10 || v > 99 {
+			t.Fatalf("sample %d out of [10,99]", v)
+		}
+	}
+	if sampleLogUniform(rng, 7, 7) != 7 {
+		t.Error("degenerate range")
+	}
+}
