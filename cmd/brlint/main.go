@@ -1,0 +1,111 @@
+// Command brlint runs Bladerunner's static-analysis suite (internal/lint)
+// over the module: the concurrency and virtual-time invariants the compiler
+// cannot enforce. It is part of the tier-1 verification line:
+//
+//	go build ./... && go vet ./... && go run ./cmd/brlint ./... && go test ./...
+//
+// Usage:
+//
+//	brlint [-rules rule1,rule2] [-suppressions] [packages ...]
+//
+// Packages are directories relative to the module root (or absolute), with
+// the go-style "/..." suffix for subtrees; the default is "./...". Exit
+// status is 0 when clean, 1 when diagnostics were reported, 2 on load
+// errors.
+//
+// With -suppressions, instead of linting, brlint prints every active
+// //brlint:allow(rule) suppression with its file:line and reason — the
+// repository's live invariant debt — and exits 0 (or 1 if any suppression
+// never matched a diagnostic, i.e. is stale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bladerunner/internal/lint"
+)
+
+func main() {
+	rulesFlag := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	suppressions := flag.Bool("suppressions", false, "audit //brlint:allow suppressions instead of reporting diagnostics")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	all := lint.DefaultRules(loader.ModPath)
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-22s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+	rules := all
+	if *rulesFlag != "" {
+		byName := make(map[string]lint.Rule, len(all))
+		for _, r := range all {
+			byName[r.Name()] = r
+		}
+		rules = nil
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			r, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatal(fmt.Errorf("brlint: unknown rule %q", name))
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	runner := lint.NewRunner(loader, rules...)
+	diags := runner.Run(pkgs)
+
+	if *suppressions {
+		sups := runner.Suppressions()
+		stale := 0
+		for _, s := range sups {
+			status := ""
+			if !s.Used {
+				status = "  [stale: suppresses nothing]"
+				stale++
+			}
+			fmt.Printf("%s:%d: allow(%s) %s%s\n", s.File, s.Line, s.Rule, s.Reason, status)
+		}
+		fmt.Printf("%d suppression(s), %d stale\n", len(sups), stale)
+		if stale > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("brlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -19,6 +19,7 @@ import (
 	"bladerunner/internal/apps"
 	"bladerunner/internal/core"
 	"bladerunner/internal/device"
+	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 )
 
@@ -66,15 +67,15 @@ func main() {
 		}(i)
 		defer devices[i].Close()
 	}
-	// Give subscriptions a moment to register with Pylon.
-	deadline := time.Now().Add(5 * time.Second)
-	for len(cluster.Pylon.Subscribers(apps.LVCTopic(*videoID))) == 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	// Give subscriptions a moment to register with Pylon. The demo runs on
+	// the wall clock, reached through the same Scheduler interface every
+	// component takes (rule no-direct-time).
+	clock := sim.RealClock{}
+	cluster.Pylon.WaitForSubscriber(clock, apps.LVCTopic(*videoID), 5*time.Second)
 
 	// Commenters post through the WAS.
 	rng := rand.New(rand.NewSource(*seed))
-	start := time.Now()
+	start := clock.Now()
 	for i := 0; i < *comments; i++ {
 		author := socialgraph.UserID(*viewers + 1 + rng.Intn(150))
 		commenter := cluster.NewDevice(author)
@@ -84,14 +85,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "post %d: %v\n", i, err)
 		}
 		commenter.Close()
-		time.Sleep(2 * time.Millisecond)
+		sim.Sleep(clock, 2*time.Millisecond)
 	}
-	time.Sleep(*duration)
+	sim.Sleep(clock, *duration)
 
 	total := len(received)
 	cluster.Quiesce()
 	fmt.Printf("\nposted %d comments in %v; %d viewer deliveries\n",
-		*comments, time.Since(start).Round(time.Millisecond), total)
+		*comments, clock.Now().Sub(start).Round(time.Millisecond), total)
 	fmt.Printf("pylon: %d publishes, %d host deliveries, fanout mean %.1f\n",
 		cluster.Pylon.Publishes.Value(), cluster.Pylon.Deliveries.Value(),
 		float64(cluster.Pylon.FanoutSize.Mean()))

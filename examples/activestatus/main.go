@@ -16,6 +16,7 @@ import (
 
 	"bladerunner/internal/apps"
 	"bladerunner/internal/core"
+	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 )
 
@@ -55,9 +56,8 @@ func main() {
 		log.Fatal(err)
 	}
 	// One device subscribe produced one Pylon topic per friend:
-	for len(cluster.Pylon.Subscribers(apps.StatusTopic(friends[0]))) == 0 {
-		time.Sleep(5 * time.Millisecond)
-	}
+	clock := sim.RealClock{}
+	cluster.Pylon.WaitForSubscriber(clock, apps.StatusTopic(friends[0]), 10*time.Second)
 	fmt.Printf("one stream -> %d Pylon topics (one per friend)\n",
 		len(cluster.Graph.Friends(me)))
 
@@ -71,7 +71,7 @@ func main() {
 	}
 
 	seen := map[uint64]bool{}
-	deadline := time.After(5 * time.Second)
+	deadline := sim.Timeout(clock, 5*time.Second)
 	for len(seen) < 2 {
 		select {
 		case delta := <-st.Updates:
@@ -90,7 +90,7 @@ func main() {
 	// transitions in a later batch.
 	fmt.Println("friends stop reporting; waiting for TTL expiry...")
 	offline := 0
-	deadline = time.After(5 * time.Second)
+	deadline = sim.Timeout(clock, 5*time.Second)
 	for offline < 2 {
 		select {
 		case delta := <-st.Updates:

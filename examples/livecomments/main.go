@@ -19,6 +19,7 @@ import (
 
 	"bladerunner/internal/apps"
 	"bladerunner/internal/core"
+	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
 )
@@ -70,14 +71,13 @@ func main() {
 			}
 		}(i)
 	}
-	for len(cluster.Pylon.Subscribers(apps.LVCTopic(videoID))) == 0 {
-		time.Sleep(5 * time.Millisecond)
-	}
+	clock := sim.RealClock{}
+	cluster.Pylon.WaitForSubscriber(clock, apps.LVCTopic(videoID), 10*time.Second)
 
 	// The eclipse moment: a comment storm.
 	fmt.Printf("posting %d comments in a burst...\n", nBurst)
 	rng := rand.New(rand.NewSource(42))
-	start := time.Now()
+	start := clock.Now()
 	for i := 0; i < nBurst; i++ {
 		author := socialgraph.UserID(100 + rng.Intn(400))
 		_, err := cluster.WAS.Mutate(author, fmt.Sprintf(
@@ -86,8 +86,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	burstDur := time.Since(start)
-	time.Sleep(1500 * time.Millisecond) // let rate-limited pushes drain
+	burstDur := clock.Now().Sub(start)
+	sim.Sleep(clock, 1500*time.Millisecond) // let rate-limited pushes drain
 	cluster.Quiesce()
 
 	stored := cluster.TAO.Stats().Writes.Value()

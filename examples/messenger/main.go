@@ -18,6 +18,7 @@ import (
 	"bladerunner/internal/apps"
 	"bladerunner/internal/burst"
 	"bladerunner/internal/core"
+	"bladerunner/internal/sim"
 )
 
 func main() {
@@ -47,9 +48,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for len(cluster.Pylon.Subscribers(apps.MailboxTopic(2))) == 0 {
-		time.Sleep(5 * time.Millisecond)
-	}
+	clock := sim.RealClock{}
+	cluster.Pylon.WaitForSubscriber(clock, apps.MailboxTopic(2), 10*time.Second)
 
 	send := func(text string) {
 		if _, err := alice.Mutate(fmt.Sprintf(
@@ -63,7 +63,7 @@ func main() {
 			var m apps.MessagePayload
 			_ = json.Unmarshal(delta.Payload, &m)
 			return m
-		case <-time.After(10 * time.Second):
+		case <-sim.Timeout(clock, 10*time.Second):
 			log.Fatal("timed out waiting for message")
 			return apps.MessagePayload{}
 		}
@@ -80,7 +80,7 @@ func main() {
 	// The stream header now carries bob's resume token, written by the
 	// BRASS through a BURST rewrite — bob's app never tracked it.
 	for st.Request().Header[burst.HdrResumeSeq] != "2" {
-		time.Sleep(5 * time.Millisecond)
+		sim.Sleep(clock, 5*time.Millisecond)
 	}
 	saved := st.Request()
 	fmt.Printf("resume token in stream header: seq=%s (maintained by rewrites)\n",
@@ -112,7 +112,7 @@ func main() {
 			var m apps.MessagePayload
 			_ = json.Unmarshal(delta.Payload, &m)
 			fmt.Printf("catch-up delivery: seq=%d %q\n", m.Seq, m.Text)
-		case <-time.After(10 * time.Second):
+		case <-sim.Timeout(clock, 10*time.Second):
 			log.Fatal("catch-up timed out")
 		}
 	}

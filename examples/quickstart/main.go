@@ -15,6 +15,7 @@ import (
 
 	"bladerunner/internal/apps"
 	"bladerunner/internal/core"
+	"bladerunner/internal/sim"
 )
 
 func main() {
@@ -45,9 +46,10 @@ func main() {
 	fmt.Println("viewer subscribed to liveVideoComments(videoID: 7)")
 
 	// Wait until the serving BRASS has registered the topic with Pylon.
-	for len(cluster.Pylon.Subscribers(apps.LVCTopic(7))) == 0 {
-		time.Sleep(5 * time.Millisecond)
-	}
+	// The demo runs on the wall clock through the same sim.Scheduler
+	// interface every component takes.
+	clock := sim.RealClock{}
+	cluster.Pylon.WaitForSubscriber(clock, apps.LVCTopic(7), 10*time.Second)
 
 	// 3. Another user posts a comment via a GraphQL mutation to the WAS.
 	//    The WAS writes TAO, scores the comment, and publishes a
@@ -68,7 +70,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("pushed to viewer: %q (author=%d, score=%.2f)\n", c.Text, c.Author, c.Score)
-	case <-time.After(10 * time.Second):
+	case <-sim.Timeout(clock, 10*time.Second):
 		log.Fatal("timed out waiting for the push")
 	}
 

@@ -16,6 +16,7 @@ import (
 
 	"bladerunner/internal/apps"
 	"bladerunner/internal/core"
+	"bladerunner/internal/sim"
 )
 
 func main() {
@@ -38,9 +39,8 @@ func main() {
 		log.Fatal(err)
 	}
 	topic := apps.TypingTopic(threadID, peer)
-	for len(cluster.Pylon.Subscribers(topic)) == 0 {
-		time.Sleep(5 * time.Millisecond)
-	}
+	clock := sim.RealClock{}
+	cluster.Pylon.WaitForSubscriber(clock, topic, 10*time.Second)
 
 	peerDev := cluster.NewDevice(peer)
 	defer peerDev.Close()
@@ -55,7 +55,7 @@ func main() {
 			var p apps.TypingPayload
 			_ = json.Unmarshal(delta.Payload, &p)
 			return p
-		case <-time.After(10 * time.Second):
+		case <-sim.Timeout(clock, 10*time.Second):
 			log.Fatalf("timed out waiting for %s", what)
 			return apps.TypingPayload{}
 		}
@@ -83,21 +83,21 @@ func main() {
 	case code := <-st.Flow:
 		fmt.Printf("device flow-status: %v (failure signalled end-to-end)\n", code)
 		sawFlow = true
-	case <-time.After(5 * time.Second):
+	case <-sim.Timeout(clock, 5*time.Second):
 	}
 	if !sawFlow {
 		fmt.Println("(flow event already drained)")
 	}
 
 	// Wait for a replacement host to hold the subscription.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := clock.Now().Add(10 * time.Second)
+	for clock.Now().Before(deadline) {
 		subs := cluster.Pylon.Subscribers(topic)
 		if len(subs) > 0 && subs[0] != servingID {
 			fmt.Printf("stream repaired: now served by %s\n", subs[0])
 			break
 		}
-		time.Sleep(10 * time.Millisecond)
+		sim.Sleep(clock, 10*time.Millisecond)
 	}
 
 	// The indicator still works — delivery continued across the failure.

@@ -214,6 +214,9 @@ func TestLVCPrivacyDenialSkipsComment(t *testing.T) {
 }
 
 func TestLVCRateLimitOnePerInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock rate-limit timing; skipped in -short")
+	}
 	e := newEnv(t)
 	e.suite.LVC.RateLimit = 80 * time.Millisecond
 	cli := e.dial(t)

@@ -157,6 +157,9 @@ func TestHotVideoSubscriptionIncludesFriendTopics(t *testing.T) {
 // comment from a friend reaches the viewer via the per-poster topic, while
 // the same comment from a stranger does not reach them at all.
 func TestHotVideoEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cluster end-to-end; skipped in -short")
+	}
 	e := newEnv(t)
 	const vid = 503
 	e.suite.LVC.SetHotVideo(vid, true)

@@ -8,6 +8,15 @@ import (
 
 var sdkT0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
 
+// quickCount sizes the property-test sample: full depth normally, a fast
+// smoke pass under -short (the CI race job runs with -short).
+func quickCount(t *testing.T) int {
+	if testing.Short() {
+		return 30
+	}
+	return 300
+}
+
 // Property: the ranked buffer never holds more than K items, and popping
 // everything yields non-increasing scores (fresh items only).
 func TestRankedBufferOrderProperty(t *testing.T) {
@@ -34,7 +43,7 @@ func TestRankedBufferOrderProperty(t *testing.T) {
 		}
 		return b.Len() == 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(t)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -73,7 +82,7 @@ func TestRankedBufferKeepsTopKProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(t)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -103,7 +112,7 @@ func TestRateLimiterBoundProperty(t *testing.T) {
 		}
 		return allowed <= 11 // 10s window at 1/s, +1 for the boundary
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(t)}); err != nil {
 		t.Error(err)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"bladerunner/internal/sim"
 )
 
 // TCPNetwork is a Dialer backed by real TCP loopback sockets, proving the
@@ -80,10 +82,22 @@ type LastMileConn struct {
 	Latency time.Duration
 	// BytesPerSec caps throughput; 0 = unlimited.
 	BytesPerSec int
+	// Clock drives the latency/bandwidth model; nil means the wall clock.
+	// Injecting a virtual Scheduler lets the experiment harness run link
+	// models in simulated time.
+	Clock sim.Scheduler
 
 	mu        sync.Mutex
 	debt      time.Duration
 	lastWrite time.Time
+}
+
+// clock returns the configured Scheduler or the wall clock.
+func (c *LastMileConn) clock() sim.Scheduler {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return sim.RealClock{}
 }
 
 // Read passes through.
@@ -92,10 +106,11 @@ func (c *LastMileConn) Read(p []byte) (int, error) { return c.Inner.Read(p) }
 // Write delays by the link latency plus accumulated serialization time at
 // the configured bandwidth, then forwards.
 func (c *LastMileConn) Write(p []byte) (int, error) {
+	clock := c.clock()
 	delay := c.Latency
 	if c.BytesPerSec > 0 {
 		c.mu.Lock()
-		now := time.Now()
+		now := clock.Now()
 		if !c.lastWrite.IsZero() {
 			// Pay down serialization debt with elapsed time.
 			c.debt -= now.Sub(c.lastWrite)
@@ -110,7 +125,7 @@ func (c *LastMileConn) Write(p []byte) (int, error) {
 		c.mu.Unlock()
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		sim.Sleep(clock, delay)
 	}
 	return c.Inner.Write(p)
 }

@@ -64,7 +64,11 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestFigure7ShapeMatchesPaper(t *testing.T) {
-	r := Figure7(1, 100_000)
+	n := 100_000
+	if testing.Short() {
+		n = 20_000
+	}
+	r := Figure7(1, n)
 	zero := parsePct(t, row(t, r, "0 updates").Measured)
 	b9 := parsePct(t, row(t, r, "1-9 updates").Measured)
 	b99 := parsePct(t, row(t, r, "10-99 updates").Measured)

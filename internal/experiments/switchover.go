@@ -12,6 +12,7 @@ import (
 	"bladerunner/internal/burst"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/pylon"
+	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
 	"bladerunner/internal/was"
@@ -29,6 +30,15 @@ import (
 // structural (range+point queries per poll vs point queries per delivered
 // update) and unaffected by the scaling.
 func Switchover(seed int64) Result {
+	return SwitchoverOn(sim.RealClock{}, seed)
+}
+
+// SwitchoverOn runs the switchover measurement against an explicit
+// Scheduler. Every wait in the experiment — the poller intervals, the
+// settle windows, the wait for the BRASS host's Pylon registration — goes
+// through sched, so the experiment stays deterministic when driven by the
+// harness's virtual clock instead of the wall clock.
+func SwitchoverOn(sched sim.Scheduler, seed int64) Result {
 	const (
 		viewers     = 30
 		comments    = 40
@@ -46,11 +56,12 @@ func Switchover(seed int64) Result {
 			Viewer:   socialgraph.UserID(i + 1),
 			Query:    "videoComments(videoID: 900, limit: 10)",
 			Interval: pollEvery,
+			Sched:    sched,
 		}
 		pollers[i].Start()
 	}
-	postComments(pollEnv.was, comments, commentGap)
-	time.Sleep(settleAfter)
+	postComments(sched, pollEnv.was, comments, commentGap)
+	sim.Sleep(sched, settleAfter)
 	for _, p := range pollers {
 		p.Stop()
 	}
@@ -79,12 +90,9 @@ func Switchover(seed int64) Result {
 		defer clients[i].Close()
 	}
 	// Wait for the host to register the topic with Pylon.
-	deadline := time.Now().Add(2 * time.Second)
-	for len(brEnv.pylon.Subscribers(apps.LVCTopic(900))) == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	postComments(brEnv.was, comments, commentGap)
-	time.Sleep(settleAfter)
+	brEnv.pylon.WaitForSubscriber(sched, apps.LVCTopic(900), 2*time.Second)
+	postComments(sched, brEnv.was, comments, commentGap)
+	sim.Sleep(sched, settleAfter)
 	host.Quiesce()
 	brStats := brEnv.snapshot()
 	delivered := host.Deliveries.Value()
@@ -160,11 +168,11 @@ func (e *switchEnv) snapshot() switchStats {
 	}
 }
 
-func postComments(w *was.Server, n int, gap time.Duration) {
+func postComments(sched sim.Scheduler, w *was.Server, n int, gap time.Duration) {
 	for i := 0; i < n; i++ {
 		author := socialgraph.UserID(100 + i%50)
 		_, _ = w.Mutate(author, fmt.Sprintf(`postComment(videoID: 900, text: "live comment %d")`, i))
-		time.Sleep(gap)
+		sim.Sleep(sched, gap)
 	}
 }
 

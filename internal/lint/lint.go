@@ -1,0 +1,198 @@
+// Package lint implements brlint, Bladerunner's static-analysis suite. It
+// enforces the concurrency and virtual-time invariants the compiler cannot
+// see but the system's correctness rests on (DESIGN.md "Static analysis &
+// invariants"):
+//
+//   - no-direct-time: components take a sim.Clock/sim.Scheduler instead of
+//     calling the time package, so the same logic runs under wall clock and
+//     under the deterministic experiment harness.
+//   - no-lock-across-block: a sync.Mutex/RWMutex must not be held across a
+//     channel send/receive, select, or known blocking call — a stalled
+//     receiver would turn Pylon's best-effort AP delivery path into a
+//     system-wide stall.
+//   - mutex-by-value: values whose type contains a lock (or an atomic) must
+//     not be copied.
+//   - goroutine-hygiene: `go func` literals must not capture loop variables,
+//     and unbounded loops inside them need a shutdown path.
+//   - unchecked-unsubscribe: error results from the Pylon/BRASS/BURST
+//     public surfaces must not be silently discarded.
+//
+// Diagnostics are suppressed with an inline escape hatch:
+//
+//	//brlint:allow(rule-name) reason for the exception
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory; `brlint -suppressions` audits every active suppression.
+//
+// The implementation is standard library only (go/parser, go/ast, go/types,
+// go/token), honoring the repository's stdlib-only rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one rule violation.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// Rule is one invariant check run over a type-checked package.
+type Rule interface {
+	// Name is the rule identifier used in diagnostics and in
+	// //brlint:allow(name) suppressions.
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Check inspects c.Pkg and reports violations through c.Reportf.
+	Check(c *Context)
+}
+
+// Context is the per-(rule, package) state handed to Rule.Check.
+type Context struct {
+	Pkg *Package
+	// Fset translates token.Pos values into positions.
+	Fset *token.FileSet
+	// ModPath is the module path, for module-relative exemptions.
+	ModPath string
+
+	rule   string
+	report func(pos token.Pos, rule, msg string)
+}
+
+// Reportf records a diagnostic for the current rule at pos.
+func (c *Context) Reportf(pos token.Pos, format string, args ...any) {
+	c.report(pos, c.rule, fmt.Sprintf(format, args...))
+}
+
+// Runner applies a set of rules to packages and resolves suppressions.
+type Runner struct {
+	Rules   []Rule
+	Fset    *token.FileSet
+	ModPath string
+
+	suppressions []Suppression
+}
+
+// NewRunner returns a Runner over the loader's module with the given rules
+// (DefaultRules() if none).
+func NewRunner(l *Loader, rules ...Rule) *Runner {
+	if len(rules) == 0 {
+		rules = DefaultRules(l.ModPath)
+	}
+	return &Runner{Rules: rules, Fset: l.Fset, ModPath: l.ModPath}
+}
+
+// Run checks every package and returns the surviving diagnostics, sorted by
+// position. Diagnostics matched by a //brlint:allow comment are dropped and
+// recorded as used suppressions; malformed suppression comments surface as
+// diagnostics of the pseudo-rule "brlint".
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	// Suppressions are validated against the full rule set, not just the
+	// active subset: running with -rules must not misreport a legitimate
+	// allow comment for a deselected rule as naming an unknown rule.
+	known := make(map[string]bool, len(r.Rules))
+	for _, rule := range DefaultRules(r.ModPath) {
+		known[rule.Name()] = true
+	}
+	for _, rule := range r.Rules {
+		known[rule.Name()] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sups, bad := collectSuppressions(r.Fset, pkg.Files, known)
+		diags = append(diags, bad...)
+		for _, rule := range r.Rules {
+			c := &Context{
+				Pkg:     pkg,
+				Fset:    r.Fset,
+				ModPath: r.ModPath,
+				rule:    rule.Name(),
+				report: func(pos token.Pos, name, msg string) {
+					p := r.Fset.Position(pos)
+					if s := matchSuppression(sups, name, p); s != nil {
+						s.Used = true
+						return
+					}
+					diags = append(diags, Diagnostic{Pos: p, Rule: name, Message: msg})
+				},
+			}
+			rule.Check(c)
+		}
+		for i := range sups {
+			r.suppressions = append(r.suppressions, *sups[i])
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+// Suppressions returns every //brlint:allow comment seen by Run, in source
+// order — the data behind `brlint -suppressions`.
+func (r *Runner) Suppressions() []Suppression {
+	s := append([]Suppression(nil), r.suppressions...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].File != s[j].File {
+			return s[i].File < s[j].File
+		}
+		return s[i].Line < s[j].Line
+	})
+	return s
+}
+
+// DefaultRules is the full brlint rule set for the module modPath.
+func DefaultRules(modPath string) []Rule {
+	return []Rule{
+		&NoDirectTime{ModPath: modPath},
+		&NoLockAcrossBlock{ModPath: modPath},
+		&MutexByValue{},
+		&GoroutineHygiene{},
+		&UncheckedUnsubscribe{ModPath: modPath},
+	}
+}
+
+// ---- shared AST/type helpers ----
+
+// calleeFunc resolves the function or method named by call.Fun, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeFullName is calleeFunc's FullName ("time.Now",
+// "(*sync.Mutex).Lock"), or "".
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexByValue flags copies of values whose type (transitively, through
+// struct fields and arrays) contains a sync lock or a sync/atomic value.
+// A copied mutex is a distinct mutex: the copy guards nothing, and the
+// paper's lock-heavy state machines (Pylon shard maps, BRASS instance
+// tables, BURST session state) silently lose mutual exclusion.
+//
+// Checked copy sites: non-pointer method receivers, function parameters
+// and results declared with a lock-containing type, assignments and
+// composite-literal/call-argument/return expressions that copy an existing
+// lock-containing value (taking a pointer, or constructing a fresh value
+// with a literal, is fine), and range statements whose value variable
+// copies lock-containing elements.
+type MutexByValue struct{}
+
+func (r *MutexByValue) Name() string { return "mutex-by-value" }
+
+func (r *MutexByValue) Doc() string {
+	return "values containing sync locks or atomics must not be copied; pass pointers"
+}
+
+// syncValueTypes are the sync and sync/atomic types that must never be
+// copied after first use.
+var syncValueTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Cond":      true,
+	"sync.Once":      true,
+	"sync.Pool":      true,
+	"sync.Map":       true,
+	"atomic.Bool":    true,
+	"atomic.Int32":   true,
+	"atomic.Int64":   true,
+	"atomic.Uint32":  true,
+	"atomic.Uint64":  true,
+	"atomic.Uintptr": true,
+	"atomic.Pointer": true,
+	"atomic.Value":   true,
+}
+
+// containsLock reports whether a value of type t embeds a lock and names
+// the offending component type.
+func containsLock(t types.Type) (string, bool) {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) (string, bool) {
+	t = types.Unalias(t)
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			p := pkg.Path()
+			if p == "sync" || p == "sync/atomic" {
+				short := pkg.Name() + "." + obj.Name()
+				if syncValueTypes[short] {
+					return short, true
+				}
+				return "", false
+			}
+		}
+		return lockIn(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := lockIn(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// copiesExisting reports whether e denotes an existing value (so using it
+// in a value context performs a copy). Composite literals, calls, and
+// conversions construct fresh values and are exempt.
+func copiesExisting(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func (r *MutexByValue) Check(c *Context) {
+	info := c.Pkg.Info
+
+	lockType := func(e ast.Expr) (string, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		return containsLock(tv.Type)
+	}
+
+	checkCopy := func(e ast.Expr, what string) {
+		if !copiesExisting(e) {
+			return
+		}
+		if name, ok := lockType(e); ok {
+			c.Reportf(e.Pos(), "%s copies a value containing %s; use a pointer", what, name)
+		}
+	}
+
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name, ok := containsLock(tv.Type); ok {
+				c.Reportf(field.Type.Pos(), "%s passes a value containing %s by value; use a pointer", what, name)
+			}
+		}
+	}
+
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(x.Recv, "method receiver")
+				checkFieldList(x.Type.Params, "parameter")
+				checkFieldList(x.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(x.Type.Params, "parameter")
+				checkFieldList(x.Type.Results, "result")
+			case *ast.AssignStmt:
+				// Multi-value RHS from a call is not a syntactic copy of
+				// an existing value; pairwise RHS expressions are.
+				for _, rhs := range x.Rhs {
+					checkCopy(rhs, "assignment")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					checkCopy(elt, "composite literal")
+				}
+			case *ast.CallExpr:
+				if _, isConv := info.Types[x.Fun]; isConv && info.Types[x.Fun].IsType() {
+					return true // conversion, handled as its operand's copy below
+				}
+				for _, arg := range x.Args {
+					checkCopy(arg, "call argument")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					checkCopy(res, "return")
+				}
+			case *ast.RangeStmt:
+				// The value variable is a definition, so resolve its type
+				// through Defs rather than the expression-type map.
+				if id, ok := x.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil {
+						if name, ok := containsLock(obj.Type()); ok {
+							c.Reportf(id.Pos(), "range value copies a value containing %s; range over indices or pointers", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

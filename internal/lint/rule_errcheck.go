@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedUnsubscribe flags statement-level calls to the exported
+// Pylon/BRASS/BURST surfaces that return an error which the caller silently
+// drops. Subscription bookkeeping is the CP half of the system: a dropped
+// error from Subscribe/Unsubscribe/Publish leaves the replicated
+// subscription state and the host's local interest table disagreeing, which
+// is exactly the drift the paper's quorum-repair machinery exists to
+// prevent. Deliberate discards must be spelled `_ = call(...)` (or carry a
+// //brlint:allow comment), so reviewers can see the decision.
+type UncheckedUnsubscribe struct {
+	// ModPath qualifies the audited packages.
+	ModPath string
+}
+
+func (r *UncheckedUnsubscribe) Name() string { return "unchecked-unsubscribe" }
+
+func (r *UncheckedUnsubscribe) Doc() string {
+	return "error results from the pylon/brass/burst public surfaces must be checked or explicitly discarded"
+}
+
+func (r *UncheckedUnsubscribe) audited() map[string]bool {
+	return map[string]bool{
+		r.ModPath + "/internal/pylon": true,
+		r.ModPath + "/internal/brass": true,
+		r.ModPath + "/internal/burst": true,
+	}
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *UncheckedUnsubscribe) Check(c *Context) {
+	audited := r.audited()
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(c.Pkg.Info, call)
+			if fn == nil || !fn.Exported() || fn.Pkg() == nil || !audited[fn.Pkg().Path()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !returnsError(sig) {
+				return true
+			}
+			c.Reportf(call.Pos(), "result of %s is discarded; check the error or write `_ = %s(...)`", fn.FullName(), fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineHygiene checks `go func` literals for the two leak shapes that
+// matter in a delivery tier that spools goroutines per stream and per
+// instance:
+//
+//  1. capturing a loop variable instead of passing it as an argument —
+//     even with Go 1.22 per-iteration variables this hides the data flow
+//     and breaks the moment the literal is lifted out of the loop; and
+//  2. an unbounded `for` loop with no shutdown path: no return, no break,
+//     no channel operation, no select, and no WaitGroup interaction in the
+//     loop body. Such a goroutine can never be stopped; BRASS despool and
+//     Host.Close would leak it.
+type GoroutineHygiene struct{}
+
+func (r *GoroutineHygiene) Name() string { return "goroutine-hygiene" }
+
+func (r *GoroutineHygiene) Doc() string {
+	return "go func literals must not capture loop variables and need a shutdown path for unbounded loops"
+}
+
+func (r *GoroutineHygiene) Check(c *Context) {
+	info := c.Pkg.Info
+	for _, f := range c.Pkg.Files {
+		// loopVars maps the objects of loop variables currently in scope
+		// while walking; maintained with a manual stack via Inspect's
+		// pre/post traversal using a wrapper.
+		var walk func(n ast.Node, loopVars map[types.Object]token.Pos)
+		walk = func(n ast.Node, loopVars map[types.Object]token.Pos) {
+			switch x := n.(type) {
+			case nil:
+				return
+			case *ast.RangeStmt:
+				inner := cloneVars(loopVars)
+				addDefs(info, inner, x.Key, x.Value)
+				walkChildren(x.Body, inner, walk)
+				walk(x.X, loopVars)
+				return
+			case *ast.ForStmt:
+				inner := cloneVars(loopVars)
+				if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						addDefs(info, inner, lhs)
+					}
+				}
+				walk(x.Init, loopVars)
+				walk(x.Cond, inner)
+				walk(x.Post, inner)
+				walkChildren(x.Body, inner, walk)
+				return
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					r.checkGoLiteral(c, lit, loopVars)
+				}
+				for _, arg := range x.Call.Args {
+					walk(arg, loopVars)
+				}
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					// Still walk the body for nested go statements.
+					walkChildren(lit.Body, loopVars, walk)
+				}
+				return
+			}
+			walkChildren(n, loopVars, walk)
+		}
+		walk(f, map[types.Object]token.Pos{})
+	}
+}
+
+func cloneVars(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func addDefs(info *types.Info, vars map[types.Object]token.Pos, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = id.Pos()
+			}
+		}
+	}
+}
+
+func walkChildren(n ast.Node, vars map[types.Object]token.Pos, walk func(ast.Node, map[types.Object]token.Pos)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n || child == nil {
+			return child == n
+		}
+		walk(child, vars)
+		return false
+	})
+}
+
+func (r *GoroutineHygiene) checkGoLiteral(c *Context, lit *ast.FuncLit, loopVars map[types.Object]token.Pos) {
+	info := c.Pkg.Info
+
+	// (1) loop-variable capture.
+	if len(loopVars) > 0 {
+		reported := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || reported[obj] {
+				return true
+			}
+			if _, isLoopVar := loopVars[obj]; isLoopVar {
+				reported[obj] = true
+				c.Reportf(id.Pos(), "goroutine captures loop variable %s; pass it as an argument", id.Name)
+			}
+			return true
+		})
+	}
+
+	// (2) unbounded loop with no shutdown path.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasShutdownPath(loop.Body) {
+			c.Reportf(loop.For, "goroutine runs an unbounded for loop with no shutdown path (no return, break, channel op, or select); it can never be stopped")
+			return false
+		}
+		return true
+	})
+}
+
+// hasShutdownPath reports whether an unbounded loop body contains anything
+// that could ever end or park the loop: return, break, select, channel
+// send/receive/range/close, or a WaitGroup interaction.
+func hasShutdownPath(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK || x.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// range over a channel parks; treat any range as bounded
+			// enough — an unbounded inner range would itself be scanned.
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && (id.Name == "close" || id.Name == "panic") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

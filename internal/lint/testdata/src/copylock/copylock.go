@@ -1,0 +1,91 @@
+// Package copylock is a brlint fixture for the mutex-by-value rule: values
+// whose type (transitively) contains a sync lock or sync/atomic value must
+// not be copied — by receiver, parameter, result, assignment, composite
+// literal, call argument, return, or range value. Pointers and fresh
+// zero-value construction pass.
+package copylock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds a lock two levels down; containment is transitive.
+type Nested struct {
+	inner Guarded
+}
+
+type Counter struct {
+	hits atomic.Int64
+}
+
+func ByValueParam(g Guarded) int { // want `mutex-by-value: parameter passes a value containing sync.Mutex by value`
+	return g.n
+}
+
+func (g Guarded) ValueReceiver() int { // want `mutex-by-value: method receiver passes a value containing sync.Mutex by value`
+	return g.n
+}
+
+func ByValueNested(n Nested) int { // want `mutex-by-value: parameter passes a value containing sync.Mutex by value`
+	return n.inner.n
+}
+
+func AtomicParam(c Counter) int64 { // want `mutex-by-value: parameter passes a value containing atomic.Int64 by value`
+	return c.hits.Load()
+}
+
+func CopyAssign(g *Guarded) int {
+	cp := *g // want `mutex-by-value: assignment copies a value containing sync.Mutex`
+	return cp.n
+}
+
+func CopyInLiteral(g *Guarded) int {
+	all := []Guarded{*g} // want `mutex-by-value: composite literal copies a value containing sync.Mutex`
+	return all[0].n
+}
+
+func (g *Guarded) Snapshot() Guarded { // want `mutex-by-value: result passes a value containing sync.Mutex by value`
+	return *g // want `mutex-by-value: return copies a value containing sync.Mutex`
+}
+
+func RangeCopies(list []Guarded) int {
+	total := 0
+	for _, g := range list { // want `mutex-by-value: range value copies a value containing sync.Mutex`
+		total += g.n
+	}
+	return total
+}
+
+// PointerFine: pointers to lock-containing values move freely.
+func PointerFine(g *Guarded) *Guarded {
+	return g
+}
+
+// FreshValueFine: constructing a zero value with a literal is not a copy of
+// an existing (possibly locked) value.
+func FreshValueFine() *Guarded {
+	fresh := Guarded{n: 1}
+	return &fresh
+}
+
+// RangeByIndexFine: ranging over indices avoids the element copy.
+func RangeByIndexFine(list []Guarded) int {
+	total := 0
+	for i := range list {
+		total += list[i].n
+	}
+	return total
+}
+
+// Allowed demonstrates the escape hatch on the line above a declaration.
+//
+//brlint:allow(mutex-by-value) fixture: value is copied before its lock is ever used
+func Allowed(g Guarded) int {
+	return g.n
+}

@@ -1,0 +1,33 @@
+// Package errcheck is a brlint fixture for the unchecked-unsubscribe rule:
+// statement-level calls into the exported pylon surface that silently drop
+// an error result must be flagged; checked calls, explicit `_ =` discards,
+// and void-returning calls pass.
+package errcheck
+
+import "bladerunner/internal/pylon"
+
+func Discards(p *pylon.Service, t pylon.Topic) {
+	p.Subscribe(t, "host-1")         // want `unchecked-unsubscribe: result of .*Subscribe is discarded`
+	p.Unsubscribe(t, "host-1")       // want `unchecked-unsubscribe: result of .*Unsubscribe is discarded`
+	p.Publish(pylon.Event{Topic: t}) // want `unchecked-unsubscribe: result of .*Publish is discarded`
+}
+
+// Checked: handling or explicitly discarding the error passes.
+func Checked(p *pylon.Service, t pylon.Topic) error {
+	if err := p.Subscribe(t, "host-1"); err != nil {
+		return err
+	}
+	_ = p.Unsubscribe(t, "host-1")
+	return nil
+}
+
+// VoidIsFine: calls that return no error are not the rule's business.
+func VoidIsFine(p *pylon.Service) {
+	p.RemoveHost("host-1")
+}
+
+// Allowed demonstrates the escape hatch for a best-effort teardown path.
+func Allowed(p *pylon.Service, t pylon.Topic) {
+	//brlint:allow(unchecked-unsubscribe) fixture: best-effort cleanup on an already-dead host
+	p.Unsubscribe(t, "host-1")
+}

@@ -1,0 +1,75 @@
+// Package goroutines is a brlint fixture for the goroutine-hygiene rule:
+// `go func` literals must not capture loop variables (pass them as
+// arguments) and unbounded `for` loops inside them need a shutdown path.
+package goroutines
+
+func process(int) {}
+
+func busy() {}
+
+func LoopCapture(items []int) {
+	for _, it := range items {
+		go func() {
+			process(it) // want `goroutine-hygiene: goroutine captures loop variable it`
+		}()
+	}
+}
+
+func IndexCapture(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			process(i) // want `goroutine-hygiene: goroutine captures loop variable i`
+		}()
+	}
+}
+
+func NoShutdown() {
+	go func() {
+		for { // want `goroutine-hygiene: goroutine runs an unbounded for loop with no shutdown path`
+			busy()
+		}
+	}()
+}
+
+// LoopArgIsFine: the loop variable is passed as an argument, not captured.
+func LoopArgIsFine(items []int) {
+	for _, it := range items {
+		go func(v int) {
+			process(v)
+		}(it)
+	}
+}
+
+// ShutdownViaSelectIsFine: the select gives the loop a way to park or exit.
+func ShutdownViaSelectIsFine(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			busy()
+		}
+	}()
+}
+
+// RangeOverChannelIsFine: the range parks on the channel and ends when it
+// is closed.
+func RangeOverChannelIsFine(work chan int) {
+	go func() {
+		for v := range work {
+			process(v)
+		}
+	}()
+}
+
+// Allowed demonstrates the escape hatch for a deliberate forever-loop.
+func Allowed() {
+	go func() {
+		//brlint:allow(goroutine-hygiene) fixture: runs for the whole process lifetime by design
+		for {
+			busy()
+		}
+	}()
+}

@@ -1,0 +1,101 @@
+// Package lockblock is a brlint fixture for the no-lock-across-block rule:
+// channel sends/receives, selects, ranges over channels, and known blocking
+// calls made while a sync.Mutex or sync.RWMutex is held must be flagged;
+// non-blocking selects, properly released locks, and goroutine bodies
+// spawned under a lock must pass.
+package lockblock
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (b *Box) SendUnderLock() {
+	b.mu.Lock()
+	b.ch <- 1 // want `no-lock-across-block: channel send while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *Box) RecvUnderDeferredLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `no-lock-across-block: channel receive while holding b.mu`
+}
+
+func (b *Box) SelectUnderRLock() {
+	b.rw.RLock()
+	select { // want `no-lock-across-block: select while holding b.rw`
+	case v := <-b.ch:
+		_ = v
+	}
+	b.rw.RUnlock()
+}
+
+func (b *Box) WaitUnderLock() {
+	b.mu.Lock()
+	b.wg.Wait() // want `no-lock-across-block: blocking call to sync.WaitGroup.Wait while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *Box) RangeUnderLock() int {
+	total := 0
+	b.mu.Lock()
+	for v := range b.ch { // want `no-lock-across-block: range over channel while holding b.mu`
+		total += v
+	}
+	b.mu.Unlock()
+	return total
+}
+
+// ReleasedIsFine: the send happens after the unlock.
+func (b *Box) ReleasedIsFine() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1
+}
+
+// NonBlockingSendIsFine: a select with a default clause never blocks — this
+// is the BURST client / device delivery idiom.
+func (b *Box) NonBlockingSendIsFine() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+}
+
+// EarlyUnlockReturnIsFine: the terminating branch keeps its lock state to
+// itself; the fall-through path unlocks before the send.
+func (b *Box) EarlyUnlockReturnIsFine(dead bool) {
+	b.mu.Lock()
+	if dead {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	b.ch <- 2
+}
+
+// GoroutineBodyIsFine: the literal runs on its own goroutine with its own
+// (empty) lock state; the spawner's lock is not held there.
+func (b *Box) GoroutineBodyIsFine() {
+	b.mu.Lock()
+	go func() {
+		b.ch <- 9
+	}()
+	b.mu.Unlock()
+}
+
+// Allowed demonstrates the escape hatch for a send the author has proven
+// safe.
+func (b *Box) Allowed() {
+	b.mu.Lock()
+	//brlint:allow(no-lock-across-block) fixture: channel is buffered and drained by the test itself
+	b.ch <- 3
+	b.mu.Unlock()
+}

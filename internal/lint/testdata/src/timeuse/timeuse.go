@@ -1,0 +1,43 @@
+// Package timeuse is a brlint fixture for the no-direct-time rule: every
+// wall-clock entry point of the time package must be flagged outside
+// internal/sim, while pure time.Time arithmetic and suppressed uses pass.
+package timeuse
+
+import "time"
+
+func Bad() time.Time {
+	t := time.Now()              // want `no-direct-time: time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `no-direct-time: time.Sleep reads the wall clock`
+	return t
+}
+
+func BadAfter() {
+	<-time.After(time.Second)              // want `no-direct-time: time.After reads the wall clock`
+	time.AfterFunc(time.Second, func() {}) // want `no-direct-time: time.AfterFunc reads the wall clock`
+}
+
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want `no-direct-time: time.Since reads the wall clock`
+}
+
+func BadTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `no-direct-time: time.NewTicker reads the wall clock`
+}
+
+// Allowed demonstrates the escape hatch: the suppression names the rule and
+// carries a reason, so the call on the next line is absorbed.
+func Allowed() time.Time {
+	//brlint:allow(no-direct-time) fixture: demo output wants the real wall clock
+	return time.Now()
+}
+
+// Methods shows that time.Time methods sharing names with the denied
+// package-level functions (After, Sub) are pure arithmetic and pass.
+func Methods(a, b time.Time) bool {
+	return a.After(b) && a.Sub(b) > 0
+}
+
+// Constructors shows that deterministic time constructors pass.
+func Constructors() time.Time {
+	return time.Date(2021, time.October, 26, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,77 @@
+package pylon
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestChurnRaceStress drives concurrent subscribe/publish/unsubscribe and
+// host register/remove churn through a single Service. It asserts almost
+// nothing about outcomes — its job is to expose every lock ordering the
+// production paths take to the race detector (`go test -race`). The load is
+// scaled down under -short, which is how the CI race job runs it.
+func TestChurnRaceStress(t *testing.T) {
+	s, _ := newService(t)
+
+	workers, rounds := 8, 150
+	if testing.Short() {
+		workers, rounds = 4, 40
+	}
+
+	topics := []Topic{"/stress/1", "/stress/2", "/stress/3"}
+	var wg sync.WaitGroup
+
+	// Subscriber churn: each worker owns one host identity and loops
+	// register -> subscribe-all -> read -> unsubscribe-all -> remove.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("churn-%d", w)
+			h := &fakeHost{id: id}
+			for r := 0; r < rounds; r++ {
+				s.RegisterHost(h)
+				for _, tp := range topics {
+					if err := s.Subscribe(tp, id); err != nil {
+						t.Errorf("Subscribe(%s, %s): %v", tp, id, err)
+						return
+					}
+				}
+				_ = s.Subscribers(topics[r%len(topics)])
+				for _, tp := range topics {
+					if err := s.Unsubscribe(tp, id); err != nil {
+						t.Errorf("Unsubscribe(%s, %s): %v", tp, id, err)
+						return
+					}
+				}
+				s.RemoveHost(id)
+			}
+		}(w)
+	}
+
+	// Publishers fan out against the churning subscription table the whole
+	// time; fan-out counts are irrelevant, only data races matter.
+	for w := 0; w < workers/2+1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := s.Publish(Event{Topic: topics[(w+r)%len(topics)], Ref: uint64(r)}); err != nil {
+					t.Errorf("Publish: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+
+	// After all churn completes nothing may linger in the subscription
+	// table: every worker unsubscribed everything it subscribed.
+	for _, tp := range topics {
+		if subs := s.Subscribers(tp); len(subs) != 0 {
+			t.Errorf("topic %s still has subscribers after churn: %v", tp, subs)
+		}
+	}
+}

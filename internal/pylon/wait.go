@@ -1,0 +1,27 @@
+package pylon
+
+import (
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// WaitForSubscriber blocks until topic has at least one registered
+// subscriber or timeout elapses on sched, polling the CP subscription
+// store. It reports whether a subscriber appeared. Demo drivers and the
+// switchover experiment use it to wait for a BRASS host's subscription
+// manager to register a topic before publishing; polling on the injected
+// Scheduler keeps the wait deterministic under virtual time.
+func (s *Service) WaitForSubscriber(sched sim.Scheduler, topic Topic, timeout time.Duration) bool {
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+	deadline := sched.Now().Add(timeout)
+	for len(s.Subscribers(topic)) == 0 {
+		if !sched.Now().Before(deadline) {
+			return false
+		}
+		sim.Sleep(sched, time.Millisecond)
+	}
+	return true
+}

@@ -81,3 +81,20 @@ func (c *ManualClock) Set(t time.Time) {
 	defer c.mu.Unlock()
 	c.now = t
 }
+
+// Sleep blocks the calling goroutine until d has elapsed on s. It is the
+// Clock-respecting replacement for time.Sleep: under RealClock it sleeps on
+// the wall clock, under a virtual Scheduler it parks until the event engine
+// reaches the wake-up time. The caller must not be the goroutine driving
+// the virtual engine, or the wake-up event can never fire.
+func Sleep(s Scheduler, d time.Duration) {
+	<-Timeout(s, d)
+}
+
+// Timeout returns a channel that is closed once d has elapsed on s — the
+// Clock-respecting replacement for time.After in selects.
+func Timeout(s Scheduler, d time.Duration) <-chan struct{} {
+	done := make(chan struct{})
+	s.After(d, func() { close(done) })
+	return done
+}
