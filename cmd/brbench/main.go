@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
 	flag.Parse()
@@ -35,6 +35,7 @@ func main() {
 		"fig9":       func() experiments.Result { return experiments.Figure9(*seed, 100_000) },
 		"fig10":      func() experiments.Result { return experiments.Figure10(*seed) },
 		"switchover": func() experiments.Result { return experiments.Switchover(*seed) },
+		"storm":      func() experiments.Result { return experiments.ReconnectStorm(*seed) },
 		"ablations":  nil, // expanded below
 	}
 

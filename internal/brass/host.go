@@ -3,11 +3,13 @@ package brass
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strconv"
 	"sync"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/sim"
@@ -42,6 +44,13 @@ type HostConfig struct {
 	// switching). 0 = unlimited. Streams that would exceed the cap are
 	// rejected; the router places them elsewhere.
 	MaxInstances int
+	// SubscribeBackoff paces the subscription manager's background retries
+	// when Pylon registration fails transiently (quorum loss, no server).
+	// Zero fields take faults.DefaultBackoff values.
+	SubscribeBackoff faults.BackoffPolicy
+	// BackoffSeed seeds the retry jitter RNG; 0 derives a seed from ID so
+	// a fleet of hosts decorrelates deterministically.
+	BackoffSeed int64
 }
 
 // Host is one BRASS host: a multi-tenant machine running one instance per
@@ -60,9 +69,16 @@ type Host struct {
 	// Pylon interest: the subscription manager registers with Pylon only
 	// on the 0→1 transition and unregisters on 1→0 (footnote 10).
 	topicHostRefs map[pylon.Topic]map[*Instance]bool
-	sessions      map[*burst.ServerSession]bool
-	perStream     map[*Instance]bool
-	closed        bool
+	// pendingSubs tracks topics whose Pylon registration failed transiently
+	// and is being re-established in the background by the subscription
+	// manager; the local refs stay live meanwhile.
+	pendingSubs map[pylon.Topic]*subRetry
+	nextSubSalt int64
+	sessions    map[*burst.ServerSession]bool
+	perStream   map[*Instance]bool
+	closed      bool
+
+	subBackoff *faults.Backoff
 
 	// Metrics (exported so experiments and tests can assert on them).
 	Decisions          metrics.Counter
@@ -75,7 +91,14 @@ type Host struct {
 	LoopOverflows      metrics.Counter
 	PylonSubs          metrics.Counter
 	PylonSubDedups     metrics.Counter // Pylon registrations avoided by the manager
+	PylonSubRetries    metrics.Counter // background re-subscription attempts
 	WASFetches         metrics.Counter
+}
+
+// subRetry is one topic's background re-subscription state.
+type subRetry struct {
+	bo     *faults.Backoff
+	cancel func()
 }
 
 // NewHost builds a BRASS host and registers it with Pylon.
@@ -86,6 +109,12 @@ func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Sc
 	if sched == nil {
 		sched = sim.RealClock{}
 	}
+	seed := cfg.BackoffSeed
+	if seed == 0 {
+		hsh := fnv.New64a()
+		_, _ = hsh.Write([]byte(cfg.ID))
+		seed = int64(hsh.Sum64())
+	}
 	h := &Host{
 		cfg:           cfg,
 		pylon:         pyl,
@@ -94,8 +123,10 @@ func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Sc
 		apps:          make(map[string]Application),
 		instances:     make(map[string]*Instance),
 		topicHostRefs: make(map[pylon.Topic]map[*Instance]bool),
+		pendingSubs:   make(map[pylon.Topic]*subRetry),
 		sessions:      make(map[*burst.ServerSession]bool),
 		perStream:     make(map[*Instance]bool),
+		subBackoff:    faults.NewBackoff(cfg.SubscribeBackoff, seed),
 	}
 	if pyl != nil {
 		pyl.RegisterHost(h)
@@ -221,6 +252,16 @@ func (h *Host) subscribeTopic(topic pylon.Topic, inst *Instance) error {
 		return nil
 	}
 	if err := h.pylon.Subscribe(topic, h.cfg.ID); err != nil {
+		if transientPylonErr(err) {
+			// Pylon is transiently unreachable (quorum loss, no server)
+			// but the instance's interest is real: keep the local ref and
+			// let the subscription manager re-establish the registration
+			// in the background — the host-side half of "streams are
+			// repairable" (§4). The stream lives on without deltas until
+			// the retry lands.
+			h.scheduleSubRetry(topic)
+			return nil
+		}
 		h.mu.Lock()
 		delete(set, inst)
 		if len(set) == 0 {
@@ -233,6 +274,65 @@ func (h *Host) subscribeTopic(topic pylon.Topic, inst *Instance) error {
 	return nil
 }
 
+// transientPylonErr reports whether a Pylon registration failure is worth
+// retrying: the subscriber store lost quorum or no Pylon server answered.
+// ErrUnknownSubscriber is permanent — this host is not registered.
+func transientPylonErr(err error) bool {
+	return errors.Is(err, pylon.ErrNoQuorum) || errors.Is(err, pylon.ErrUnavailable)
+}
+
+// scheduleSubRetry arms (or keeps) a background retry for topic's Pylon
+// registration.
+func (h *Host) scheduleSubRetry(topic pylon.Topic) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.pendingSubs[topic] != nil {
+		return
+	}
+	h.nextSubSalt++
+	sr := &subRetry{bo: h.subBackoff.Child(h.nextSubSalt)}
+	h.pendingSubs[topic] = sr
+	h.armSubRetryLocked(topic, sr)
+}
+
+func (h *Host) armSubRetryLocked(topic pylon.Topic, sr *subRetry) {
+	sr.cancel = h.sched.After(sr.bo.Next(), func() { h.retrySubscribe(topic, sr) })
+}
+
+func (h *Host) retrySubscribe(topic pylon.Topic, sr *subRetry) {
+	h.mu.Lock()
+	if h.closed || h.pendingSubs[topic] != sr {
+		h.mu.Unlock()
+		return
+	}
+	if len(h.topicHostRefs[topic]) == 0 {
+		// Local interest evaporated while the retry was pending.
+		delete(h.pendingSubs, topic)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+
+	h.PylonSubRetries.Inc()
+	err := h.pylon.Subscribe(topic, h.cfg.ID)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.pendingSubs[topic] != sr {
+		return
+	}
+	switch {
+	case err == nil:
+		delete(h.pendingSubs, topic)
+		h.PylonSubs.Inc()
+	case transientPylonErr(err):
+		h.armSubRetryLocked(topic, sr)
+	default:
+		// Permanent (e.g. the host was deregistered): stop retrying.
+		delete(h.pendingSubs, topic)
+	}
+}
+
 // unsubscribeTopic drops an instance's interest; the last local reference
 // unregisters the host from Pylon.
 func (h *Host) unsubscribeTopic(topic pylon.Topic, inst *Instance) {
@@ -242,11 +342,25 @@ func (h *Host) unsubscribeTopic(topic pylon.Topic, inst *Instance) {
 	last := set != nil && len(set) == 0
 	if last {
 		delete(h.topicHostRefs, topic)
+		if sr := h.pendingSubs[topic]; sr != nil {
+			if sr.cancel != nil {
+				sr.cancel()
+			}
+			delete(h.pendingSubs, topic)
+		}
 	}
 	h.mu.Unlock()
 	if last && h.pylon != nil {
 		_ = h.pylon.Unsubscribe(topic, h.cfg.ID)
 	}
+}
+
+// PendingSubs returns how many topics are awaiting a background Pylon
+// re-subscription (tests and experiments).
+func (h *Host) PendingSubs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pendingSubs)
 }
 
 // TopicRefs returns how many local instances reference topic (tests).
@@ -275,6 +389,12 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	for topic, sr := range h.pendingSubs {
+		if sr.cancel != nil {
+			sr.cancel()
+		}
+		delete(h.pendingSubs, topic)
+	}
 	instances := make([]*Instance, 0, len(h.instances)+len(h.perStream))
 	for _, inst := range h.instances {
 		instances = append(instances, inst)

@@ -203,6 +203,16 @@ func (c *Cluster) NewDevice(user socialgraph.UserID) *device.Device {
 	}, c.Net, c.WAS, c.Sched)
 }
 
+// NewDeviceVia builds a device that reaches the cluster's POPs through the
+// given dialer — e.g. a faults.FaultNetwork wrapping this cluster's Net, so
+// chaos tests can inject faults on the device's last mile.
+func (c *Cluster) NewDeviceVia(dialer edge.Dialer, cfg device.Config) *device.Device {
+	if len(cfg.POPs) == 0 {
+		cfg.POPs = c.POPTargets()
+	}
+	return device.New(cfg, dialer, c.WAS, c.Sched)
+}
+
 // Close tears the deployment down: POPs, proxies, then hosts.
 func (c *Cluster) Close() {
 	for _, p := range c.POPs {

@@ -13,6 +13,7 @@ import (
 
 	"bladerunner/internal/burst"
 	"bladerunner/internal/edge"
+	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
@@ -29,8 +30,17 @@ type Config struct {
 	// POPs are the edge targets the device can connect through, in
 	// preference order. On failure it rotates to the next.
 	POPs []string
-	// ReconnectDelay is the pause before a reconnection attempt.
+	// ReconnectDelay is the base delay of the reconnect backoff (kept for
+	// compatibility; it seeds Backoff.Base when that is zero).
 	ReconnectDelay time.Duration
+	// Backoff is the jittered-exponential policy pacing reconnects and
+	// per-stream resubscribe retries. Zero fields default from
+	// ReconnectDelay and faults.DefaultBackoff; jitter decorrelates mass
+	// disconnects so a fleet of devices does not re-dial in lockstep.
+	Backoff faults.BackoffPolicy
+	// BackoffSeed seeds the backoff jitter RNG. Devices in experiments
+	// use distinct seeds so their retry schedules diverge deterministically.
+	BackoffSeed int64
 	// MaxStreams caps concurrent request-streams (browser tabs allow up
 	// to 60, mobile apps up to 20 per the paper). 0 = unlimited.
 	MaxStreams int
@@ -38,10 +48,11 @@ type Config struct {
 
 // Device is one simulated client.
 type Device struct {
-	cfg    Config
-	dialer edge.Dialer
-	was    *was.Server
-	sched  sim.Scheduler
+	cfg     Config
+	dialer  edge.Dialer
+	was     *was.Server
+	sched   sim.Scheduler
+	backoff *faults.Backoff
 
 	mu        sync.Mutex
 	client    *burst.Client
@@ -49,6 +60,7 @@ type Device struct {
 	streams   map[*Stream]bool
 	closed    bool
 	connected bool
+	nextSalt  int64
 
 	// Metrics.
 	Updates      metrics.Counter
@@ -73,9 +85,15 @@ type Stream struct {
 
 	mu     sync.Mutex
 	cur    *burst.ClientStream
+	curCli *burst.Client // session the current client stream lives on
 	req    burst.Subscribe
 	closed bool
 	seq    uint64 // last payload seq seen
+
+	// bo paces per-stream resubscribe retries; retryCancel is the pending
+	// retry timer, cancelled on close or when a resubscribe supersedes it.
+	bo          *faults.Backoff
+	retryCancel func()
 }
 
 // New builds a device. dialer reaches POP targets; wasrv serves the initial
@@ -87,14 +105,26 @@ func New(cfg Config, dialer edge.Dialer, wasrv *was.Server, sched sim.Scheduler)
 	if cfg.ReconnectDelay <= 0 {
 		cfg.ReconnectDelay = 50 * time.Millisecond
 	}
+	if cfg.Backoff.Base <= 0 {
+		cfg.Backoff.Base = cfg.ReconnectDelay
+	}
+	seed := cfg.BackoffSeed
+	if seed == 0 {
+		seed = int64(cfg.User) + 1
+	}
 	return &Device{
 		cfg:     cfg,
 		dialer:  dialer,
 		was:     wasrv,
 		sched:   sched,
+		backoff: faults.NewBackoff(cfg.Backoff, seed),
 		streams: make(map[*Stream]bool),
 	}
 }
+
+// Backoff exposes the device's reconnect backoff state (attempts, retry
+// and saturation counters shared with the per-stream resubscribe retries).
+func (d *Device) Backoff() *faults.Backoff { return d.backoff }
 
 // Connect dials the current POP and starts the session.
 func (d *Device) Connect() error {
@@ -191,11 +221,16 @@ func (d *Device) Subscribe(app, subscription string, extra burst.Header) (*Strea
 	for k, v := range extra {
 		header[k] = v
 	}
+	d.mu.Lock()
+	d.nextSalt++
+	salt := d.nextSalt
+	d.mu.Unlock()
 	st := &Stream{
 		dev:     d,
 		Updates: make(chan burst.Delta, 256),
 		Flow:    make(chan burst.FlowCode, 16),
 		req:     burst.Subscribe{Header: header},
+		bo:      d.backoff.Child(salt),
 	}
 	cs, err := cli.Subscribe(st.req)
 	if err != nil {
@@ -203,6 +238,7 @@ func (d *Device) Subscribe(app, subscription string, extra burst.Header) (*Strea
 	}
 	st.mu.Lock()
 	st.cur = cs
+	st.curCli = cli
 	st.mu.Unlock()
 
 	d.mu.Lock()
@@ -220,7 +256,9 @@ func (d *Device) Streams() int {
 }
 
 // onSessionLost runs when the BURST session dies: schedule a reconnect that
-// rotates POPs and resubscribes every stream with its stored request.
+// rotates POPs and resubscribes every stream with its stored request. The
+// delay comes from the jittered backoff so a mass disconnect (a POP dying
+// under thousands of devices) does not re-dial in lockstep.
 func (d *Device) onSessionLost() {
 	d.mu.Lock()
 	d.connected = false
@@ -230,7 +268,7 @@ func (d *Device) onSessionLost() {
 	if closed {
 		return
 	}
-	d.sched.After(d.cfg.ReconnectDelay, d.reconnect)
+	d.sched.After(d.backoff.Next(), d.reconnect)
 }
 
 func (d *Device) reconnect() {
@@ -243,9 +281,10 @@ func (d *Device) reconnect() {
 	d.mu.Unlock()
 
 	if err := d.Connect(); err != nil {
-		d.sched.After(d.cfg.ReconnectDelay, d.reconnect)
+		d.sched.After(d.backoff.Next(), d.reconnect)
 		return
 	}
+	d.backoff.Reset()
 	d.Reconnects.Inc()
 
 	d.mu.Lock()
@@ -269,6 +308,8 @@ func (st *Stream) resubscribe(cli *burst.Client) {
 		st.mu.Unlock()
 		return
 	}
+	// This attempt supersedes any pending per-stream retry.
+	st.cancelRetryLocked()
 	// Snapshot the request from the dead client stream: it holds the
 	// latest rewritten state even though its session is gone.
 	if st.cur != nil {
@@ -279,14 +320,62 @@ func (st *Stream) resubscribe(cli *burst.Client) {
 
 	cs, err := cli.Resubscribe(req)
 	if err != nil {
-		return // session died again; the next reconnect retries
+		// The session may still be alive (transient send failure) — do
+		// not wait for the next session loss; schedule a per-stream
+		// retry so the stream cannot strand.
+		st.scheduleResubscribe()
+		return
 	}
 	st.dev.Resubscribes.Inc()
+	st.bo.Reset()
 	st.mu.Lock()
 	st.cur = cs
+	st.curCli = cli
 	st.mu.Unlock()
 	st.pushFlow(burst.FlowRecovered)
 	go st.pump(cs)
+}
+
+// scheduleResubscribe arms a per-stream retry through the device backoff.
+// The retry fires only while the device holds a live session; if the
+// session is down, the session-level reconnect path owns recovery.
+func (st *Stream) scheduleResubscribe() {
+	d := st.dev
+	delay := st.bo.Next()
+	st.mu.Lock()
+	if st.closed || st.retryCancel != nil {
+		st.mu.Unlock()
+		return
+	}
+	st.retryCancel = d.sched.After(delay, func() {
+		st.mu.Lock()
+		st.retryCancel = nil
+		st.mu.Unlock()
+		d.mu.Lock()
+		cli := d.client
+		ok := d.connected && !d.closed && cli != nil
+		d.mu.Unlock()
+		if !ok {
+			return // session down: reconnect will resubscribe every stream
+		}
+		st.mu.Lock()
+		already := st.curCli == cli && st.cur != nil
+		st.mu.Unlock()
+		if already {
+			return // a session-level resubscribe beat the retry to it
+		}
+		st.resubscribe(cli)
+	})
+	st.mu.Unlock()
+}
+
+// cancelRetryLocked stops any pending per-stream retry timer. Callers hold
+// st.mu.
+func (st *Stream) cancelRetryLocked() {
+	if st.retryCancel != nil {
+		st.retryCancel()
+		st.retryCancel = nil
+	}
 }
 
 // pump forwards one underlying client stream's batches into the persistent
@@ -366,6 +455,7 @@ func (st *Stream) Cancel(reason string) {
 	}
 	st.closed = true
 	cur := st.cur
+	st.cancelRetryLocked()
 	st.mu.Unlock()
 	if cur != nil {
 		_ = cur.Cancel(reason)
@@ -383,6 +473,7 @@ func (st *Stream) terminate() {
 		return
 	}
 	st.closed = true
+	st.cancelRetryLocked()
 	st.mu.Unlock()
 	st.dev.dropStream(st)
 	close(st.Updates)
@@ -397,6 +488,7 @@ func (st *Stream) shutdown() {
 		return
 	}
 	st.closed = true
+	st.cancelRetryLocked()
 	st.mu.Unlock()
 	close(st.Updates)
 	close(st.Flow)

@@ -2,12 +2,14 @@ package device
 
 import (
 	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"bladerunner/internal/burst"
 	"bladerunner/internal/edge"
+	"bladerunner/internal/faults"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
@@ -348,4 +350,116 @@ func TestStartPresenceReportsPeriodically(t *testing.T) {
 	defer stop2()
 	env.dev.Close()
 	time.Sleep(30 * time.Millisecond)
+}
+
+// TestPerStreamRetryRecoversOrphanedStream exercises the per-stream
+// resubscribe retry: a stream left with no live client stream while the
+// device holds a healthy session (the state a failed session-level
+// resubscribe leaves behind) must re-establish itself via its backoff
+// retry instead of waiting for the next session loss.
+func TestPerStreamRetryRecoversOrphanedStream(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := env.dev.Subscribe("app", "s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial stream", func() bool { return env.popA.stream(0) != nil })
+
+	// Orphan the stream: no current client stream, healthy session.
+	st.mu.Lock()
+	st.cur = nil
+	st.curCli = nil
+	st.mu.Unlock()
+	st.scheduleResubscribe()
+
+	waitFor(t, "retry re-subscribed", func() bool { return env.popA.stream(1) != nil })
+	waitFor(t, "FlowRecovered", func() bool {
+		select {
+		case code := <-st.Flow:
+			return code == burst.FlowRecovered
+		default:
+			return false
+		}
+	})
+	if st.dev.Resubscribes.Value() != 1 {
+		t.Errorf("Resubscribes = %d", st.dev.Resubscribes.Value())
+	}
+}
+
+// TestResubscribeFailureArmsRetry drives the failure path itself: a
+// resubscribe against a dead session must not strand the stream — the
+// backoff retry re-establishes it on the device's healthy session.
+func TestResubscribeFailureArmsRetry(t *testing.T) {
+	env := newDevEnv(t)
+	if err := env.dev.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := env.dev.Subscribe("app", "s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial stream", func() bool { return env.popA.stream(0) != nil })
+
+	// A client whose transport is already dead: Resubscribe on it fails.
+	c1, c2 := net.Pipe()
+	_ = c1.Close()
+	_ = c2.Close()
+	dead := burst.NewClient("dead", c1, func(error) {})
+	st.mu.Lock()
+	st.cur = nil
+	st.curCli = nil
+	st.mu.Unlock()
+	st.resubscribe(dead)
+
+	// The failed attempt must have armed the per-stream retry, which lands
+	// on the live session.
+	waitFor(t, "retry after failure", func() bool { return env.popA.stream(1) != nil })
+}
+
+// TestCancelStopsPendingRetry verifies stream teardown cancels an armed
+// resubscribe retry.
+func TestCancelStopsPendingRetry(t *testing.T) {
+	n := edge.NewPipeNetwork()
+	pop := &fakePOP{name: "pop-a"}
+	n.Register("pop-a", pop.accept)
+	d := New(Config{
+		User: 7,
+		POPs: []string{"pop-a"},
+		// Slow backoff so the retry is still pending when Cancel runs.
+		Backoff: faults.BackoffPolicy{Base: 200 * time.Millisecond, NoJitter: true},
+	}, n, newWAS(t), nil)
+	t.Cleanup(d.Close)
+	if err := d.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Subscribe("app", "s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial stream", func() bool { return pop.stream(0) != nil })
+	st.mu.Lock()
+	st.cur = nil
+	st.curCli = nil
+	st.mu.Unlock()
+	st.scheduleResubscribe()
+	st.mu.Lock()
+	armed := st.retryCancel != nil
+	st.mu.Unlock()
+	if !armed {
+		t.Fatal("retry not armed")
+	}
+	st.Cancel("test")
+	st.mu.Lock()
+	cleared := st.retryCancel == nil
+	st.mu.Unlock()
+	if !cleared {
+		t.Error("Cancel left the retry armed")
+	}
+	time.Sleep(300 * time.Millisecond)
+	if pop.stream(1) != nil {
+		t.Error("cancelled stream resubscribed anyway")
+	}
 }

@@ -36,11 +36,16 @@ var ErrUnknownTarget = errors.New("edge: unknown target")
 // PipeNetwork is an in-process "network": targets register an accept
 // callback, and Dial hands them one end of a net.Pipe. It stands in for
 // the datacenter fabric in tests, examples, and the live cluster.
+//
+// Open pipes are tracked per target so SetDown can sever established
+// connections, not just reject new dials — "host down" kills the sessions
+// already running through it, exactly like a real machine failure.
 type PipeNetwork struct {
 	mu      sync.Mutex
 	targets map[string]func(io.ReadWriteCloser)
 	down    map[string]bool
 	dials   map[string]int
+	conns   map[string]map[*pipePair]bool
 }
 
 // NewPipeNetwork returns an empty network.
@@ -49,8 +54,59 @@ func NewPipeNetwork() *PipeNetwork {
 		targets: make(map[string]func(io.ReadWriteCloser)),
 		down:    make(map[string]bool),
 		dials:   make(map[string]int),
+		conns:   make(map[string]map[*pipePair]bool),
 	}
 }
+
+// pipePair is one dialed connection's two pipe ends, tracked for severing.
+type pipePair struct {
+	n      *PipeNetwork
+	target string
+	c, s   net.Conn
+
+	// closedC/closedS are guarded by n.mu; the pair unregisters itself
+	// once both ends have closed.
+	closedC, closedS bool
+}
+
+// closeEnd closes one end and unregisters the pair when both are gone.
+func (pp *pipePair) closeEnd(client bool) error {
+	pp.n.mu.Lock()
+	if client {
+		pp.closedC = true
+	} else {
+		pp.closedS = true
+	}
+	if pp.closedC && pp.closedS {
+		delete(pp.n.conns[pp.target], pp)
+	}
+	pp.n.mu.Unlock()
+	if client {
+		return pp.c.Close()
+	}
+	return pp.s.Close()
+}
+
+// sever closes both ends (failure injection: the target machine died).
+func (pp *pipePair) sever() {
+	pp.n.mu.Lock()
+	pp.closedC, pp.closedS = true, true
+	delete(pp.n.conns[pp.target], pp)
+	pp.n.mu.Unlock()
+	_ = pp.c.Close()
+	_ = pp.s.Close()
+}
+
+// pipeEnd is one side of a tracked pipe; Close releases only this end so
+// the peer still observes an orderly EOF.
+type pipeEnd struct {
+	net.Conn
+	pair   *pipePair
+	client bool
+}
+
+// Close closes this end of the pipe.
+func (e pipeEnd) Close() error { return e.pair.closeEnd(e.client) }
 
 // Register makes target dialable; accept receives the server end of each
 // new connection.
@@ -68,11 +124,22 @@ func (n *PipeNetwork) Unregister(target string) {
 }
 
 // SetDown marks a target unreachable without unregistering it (failure
-// injection: the host exists but connections fail).
+// injection: the host exists but connections fail). Taking a target down
+// also severs every established connection to it — its sessions die like
+// the machine did, so "down" means down, not merely "no new dials".
 func (n *PipeNetwork) SetDown(target string, down bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.down[target] = down
+	var pairs []*pipePair
+	if down {
+		for pp := range n.conns[target] {
+			pairs = append(pairs, pp)
+		}
+	}
+	n.mu.Unlock()
+	for _, pp := range pairs {
+		pp.sever()
+	}
 }
 
 // Dial implements Dialer.
@@ -91,8 +158,24 @@ func (n *PipeNetwork) Dial(target string) (io.ReadWriteCloser, error) {
 		return nil, fmt.Errorf("edge: target %q unreachable", target)
 	}
 	c, s := net.Pipe()
-	accept(s)
-	return c, nil
+	pp := &pipePair{n: n, target: target, c: c, s: s}
+	n.mu.Lock()
+	set := n.conns[target]
+	if set == nil {
+		set = make(map[*pipePair]bool)
+		n.conns[target] = set
+	}
+	set[pp] = true
+	// Re-check: a concurrent SetDown(true) between the availability check
+	// and registration must not leave this pair alive.
+	wentDown := n.down[target]
+	n.mu.Unlock()
+	if wentDown {
+		pp.sever()
+		return nil, fmt.Errorf("edge: target %q unreachable", target)
+	}
+	accept(pipeEnd{Conn: s, pair: pp, client: false})
+	return pipeEnd{Conn: c, pair: pp, client: true}, nil
 }
 
 // Targets returns the registered target names.
@@ -111,6 +194,13 @@ func (n *PipeNetwork) DialCount(target string) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.dials[target]
+}
+
+// OpenConns reports how many established connections target currently has.
+func (n *PipeNetwork) OpenConns(target string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns[target])
 }
 
 var _ Dialer = (*PipeNetwork)(nil)

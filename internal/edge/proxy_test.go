@@ -407,6 +407,69 @@ func TestPipeNetwork(t *testing.T) {
 	}
 }
 
+// TestSetDownSeversEstablishedConns: taking a target down must kill the
+// sessions already running through it, not just reject new dials.
+func TestSetDownSeversEstablishedConns(t *testing.T) {
+	n := NewPipeNetwork()
+	var server io.ReadWriteCloser
+	n.Register("x", func(rwc io.ReadWriteCloser) { server = rwc })
+	client, err := n.Dial("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.OpenConns("x"); got != 1 {
+		t.Fatalf("OpenConns = %d, want 1", got)
+	}
+
+	n.SetDown("x", true)
+	if _, err := client.Write([]byte("a")); err == nil {
+		t.Error("write on severed client end succeeded")
+	}
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Error("read on severed server end succeeded")
+	}
+	if got := n.OpenConns("x"); got != 0 {
+		t.Errorf("OpenConns after SetDown = %d, want 0", got)
+	}
+
+	// Healing restores dialability; the old connection stays dead.
+	n.SetDown("x", false)
+	c2, err := n.Dial("x")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if got := n.OpenConns("x"); got != 1 {
+		t.Errorf("OpenConns after redial = %d, want 1", got)
+	}
+	_ = c2.Close()
+}
+
+// TestOrderlyCloseKeepsPeerEOF: closing one end of a tracked pipe must give
+// the peer an orderly EOF, exactly like an untracked net.Pipe.
+func TestOrderlyCloseKeepsPeerEOF(t *testing.T) {
+	n := NewPipeNetwork()
+	var server io.ReadWriteCloser
+	n.Register("x", func(rwc io.ReadWriteCloser) { server = rwc })
+	client, err := n.Dial("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Read(make([]byte, 1))
+		done <- err
+	}()
+	_ = client.Close()
+	if err := <-done; err != io.EOF {
+		t.Errorf("peer read after orderly close = %v, want io.EOF", err)
+	}
+	// The pair unregisters once both ends are closed.
+	_ = server.Close()
+	if got := n.OpenConns("x"); got != 0 {
+		t.Errorf("OpenConns after both ends closed = %d, want 0", got)
+	}
+}
+
 func TestRouters(t *testing.T) {
 	sub := burst.Subscribe{Header: burst.Header{burst.HdrTopic: "/t/1"}}
 

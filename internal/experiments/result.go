@@ -99,5 +99,6 @@ func All(seed int64) []Result {
 		Figure9(seed, 100_000),
 		Figure10(seed),
 		Switchover(seed),
+		ReconnectStorm(seed),
 	}
 }

@@ -1,0 +1,301 @@
+// Chaos suite: seeded fault schedules driven against the full wired stack
+// (devices → POPs → reverse proxies → BRASS → Pylon), asserting the paper's
+// §4 failure axioms end to end — every faulted stream eventually reports
+// FlowRecovered, mailbox sequence numbers resume monotonically with no
+// gaps, and nothing leaks.
+//
+// The schedule for a run is fully determined by its seed (see
+// TestChaosScheduleDeterministicPerSeed); CI runs the suite under -race for
+// a small fixed seed matrix via BR_CHAOS_SEED.
+package faults_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/core"
+	"bladerunner/internal/device"
+	"bladerunner/internal/faults"
+	"bladerunner/internal/socialgraph"
+)
+
+// chaosSeed returns the run's seed: BR_CHAOS_SEED if set, else 1.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("BR_CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("BR_CHAOS_SEED=%q: %v", v, err)
+		}
+		return seed
+	}
+	return 1
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChaosScheduleDeterministicPerSeed pins the reproducibility contract:
+// a chaos run's fault schedule is a pure function of its seed.
+func TestChaosScheduleDeterministicPerSeed(t *testing.T) {
+	seed := chaosSeed(t)
+	targets := []string{"pop-0", "pop-1"}
+	a := faults.RandomPlan(seed, targets, 2*time.Second, 3)
+	b := faults.RandomPlan(seed, targets, 2*time.Second, 3)
+	if a.Schedule() != b.Schedule() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s",
+			a.Schedule(), b.Schedule())
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty plan")
+	}
+}
+
+// streamWatcher drains a stream's channels concurrently, recording payload
+// sequence numbers and flow events.
+type streamWatcher struct {
+	mu        sync.Mutex
+	seqs      map[uint64]bool
+	maxSeq    uint64
+	regressed bool // a new max was followed by a smaller previously-unseen max
+	recovered int
+	lastFlow  burst.FlowCode
+	done      sync.WaitGroup
+}
+
+func watch(st *device.Stream) *streamWatcher {
+	w := &streamWatcher{seqs: make(map[uint64]bool)}
+	w.done.Add(2)
+	go func() {
+		defer w.done.Done()
+		for d := range st.Updates {
+			var m apps.MessagePayload
+			_ = json.Unmarshal(d.Payload, &m)
+			w.mu.Lock()
+			w.seqs[m.Seq] = true
+			if m.Seq > w.maxSeq {
+				w.maxSeq = m.Seq
+			}
+			w.mu.Unlock()
+		}
+	}()
+	go func() {
+		defer w.done.Done()
+		for code := range st.Flow {
+			w.mu.Lock()
+			if code == burst.FlowRecovered {
+				w.recovered++
+			}
+			w.lastFlow = code
+			w.mu.Unlock()
+		}
+	}()
+	return w
+}
+
+func (w *streamWatcher) hasAll(n uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for s := uint64(1); s <= n; s++ {
+		if !w.seqs[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *streamWatcher) snapshot() (recovered int, last burst.FlowCode) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recovered, w.lastFlow
+}
+
+// TestChaosRecovery runs a seeded fault schedule against the live stack,
+// then a mass disconnect (every POP cut at once), and asserts full
+// recovery: every stream reports FlowRecovered, every mailbox sequence
+// 1..K arrives with no gaps, and no goroutines leak.
+func TestChaosRecovery(t *testing.T) {
+	seed := chaosSeed(t)
+	goroutinesBefore := runtime.NumGoroutine()
+
+	cfg := core.DefaultConfig()
+	cfg.Graph.Users = 100
+	cfg.Graph.BlockProb = 0
+	c := core.MustNewCluster(cfg, nil)
+	fn := faults.NewFaultNetwork(c.Net, nil, seed)
+	pops := c.POPTargets()
+
+	const (
+		nDevices  = 5
+		authorUID = socialgraph.UserID(90)
+	)
+	author := c.NewDevice(authorUID)
+
+	devices := make([]*device.Device, nDevices)
+	streams := make([]*device.Stream, nDevices)
+	watchers := make([]*streamWatcher, nDevices)
+	threads := make([]uint64, nDevices)
+	for i := 0; i < nDevices; i++ {
+		uid := socialgraph.UserID(10 + i)
+		devices[i] = c.NewDeviceVia(fn, device.Config{
+			User: uid,
+			// Fast backoff so the run settles quickly; jitter stays on so
+			// the mass disconnect exercises decorrelated re-dials.
+			Backoff:     faults.BackoffPolicy{Base: 10 * time.Millisecond, Max: 160 * time.Millisecond},
+			BackoffSeed: seed*1000 + int64(i) + 1,
+		})
+		if err := devices[i].Connect(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := devices[i].Subscribe(apps.AppMessenger, "messenger", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = st
+		watchers[i] = watch(st)
+
+		out, err := author.Mutate(fmt.Sprintf(`createThread(members: "%d,%d")`, authorUID, uid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = json.Unmarshal(out, &threads[i])
+	}
+	waitFor(t, "all mailbox subscriptions", func() bool {
+		for i := 0; i < nDevices; i++ {
+			if len(c.Pylon.Subscribers(apps.MailboxTopic(socialgraph.UserID(10+i)))) < 1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	send := func(round string) {
+		t.Helper()
+		for i := 0; i < nDevices; i++ {
+			msg := fmt.Sprintf(`sendMessage(threadID: %d, text: "%s")`, threads[i], round)
+			if _, err := author.Mutate(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var sent uint64
+
+	// Baseline traffic before any fault.
+	send("pre-chaos")
+	sent++
+	for i, w := range watchers {
+		w := w
+		waitFor(t, fmt.Sprintf("baseline delivery to device %d", i), func() bool { return w.hasAll(sent) })
+	}
+
+	// Seeded chaos window: random cut/heal pairs on the POPs while traffic
+	// flows. The schedule is logged so a failing seed can be replayed.
+	plan := faults.RandomPlan(seed, pops, 2*time.Second, 3)
+	t.Logf("chaos schedule (seed %d):\n%s", seed, plan.Schedule())
+	planDone := plan.Start(fn)
+	defer planDone()
+	horizon := plan.Horizon()
+	mid := time.After(horizon / 2)
+	<-mid
+	send("mid-chaos")
+	sent++
+	time.Sleep(horizon/2 + 100*time.Millisecond)
+
+	// Mass disconnect: every POP down at once, so every stream faults.
+	for _, pop := range pops {
+		fn.Cut(pop)
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, pop := range pops {
+		fn.Heal(pop)
+	}
+	waitFor(t, "all devices reconnected", func() bool {
+		for _, d := range devices {
+			if !d.Connected() {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor(t, "all streams resubscribed", func() bool {
+		for i, d := range devices {
+			if d.Streams() != 1 {
+				return false
+			}
+			// The stream's serving host must hold a live Pylon interest.
+			host := streams[i].Request().Header[burst.HdrStickyBRASS]
+			if host == "" {
+				return false
+			}
+			subs := c.Pylon.Subscribers(apps.MailboxTopic(socialgraph.UserID(10 + i)))
+			found := false
+			for _, s := range subs {
+				if s == host {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Post-recovery traffic: the resumed streams must deliver everything —
+	// gaps closed by the mailbox catch-up, sequence numbers monotonic.
+	send("post-chaos")
+	sent++
+	for i, w := range watchers {
+		w := w
+		waitFor(t, fmt.Sprintf("full mailbox on device %d after recovery", i),
+			func() bool { return w.hasAll(sent) })
+	}
+
+	// Every stream that was faulted (all of them — the mass cut saw to it)
+	// must have announced recovery, and recovery must be its final state.
+	for i, w := range watchers {
+		recovered, last := w.snapshot()
+		if recovered == 0 {
+			t.Errorf("stream %d never reported FlowRecovered", i)
+		}
+		if last != burst.FlowRecovered {
+			t.Errorf("stream %d final flow state = %v, want FlowRecovered", i, last)
+		}
+	}
+	if fn.InjectedCuts.Value() < int64(len(pops)) {
+		t.Errorf("InjectedCuts = %d, want >= %d", fn.InjectedCuts.Value(), len(pops))
+	}
+
+	// Teardown and leak check: closing devices closes their channels, which
+	// ends the watcher goroutines; the cluster teardown ends the rest.
+	for _, d := range devices {
+		d.Close()
+	}
+	author.Close()
+	for _, w := range watchers {
+		w.done.Wait()
+	}
+	c.Close()
+	waitFor(t, "goroutines drained", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= goroutinesBefore+3
+	})
+}

@@ -85,6 +85,13 @@ func newer(v1 uint64, p1 bool, v2 uint64, p2 bool) bool {
 	return !p1 && p2
 }
 
+// OpHook is an injectable per-operation fault hook: called with the op name
+// ("apply" or "view") and the key before the node executes the operation.
+// Returning an error fails the op exactly as if the node were down; a hook
+// may also block (sleeping via its own captured scheduler) to model replica
+// latency. Hooks run outside the node's lock.
+type OpHook func(op, key string) error
+
 // Node is one KV replica server.
 type Node struct {
 	ID     string
@@ -92,6 +99,7 @@ type Node struct {
 
 	mu   sync.RWMutex
 	up   bool
+	hook OpHook
 	data map[string]map[Member]record
 }
 
@@ -114,8 +122,29 @@ func (n *Node) SetUp(up bool) {
 	n.mu.Unlock()
 }
 
+// SetOpHook installs (or, with nil, removes) the node's fault hook.
+func (n *Node) SetOpHook(h OpHook) {
+	n.mu.Lock()
+	n.hook = h
+	n.mu.Unlock()
+}
+
+// runHook invokes the fault hook, if any, outside the node's lock.
+func (n *Node) runHook(op, key string) error {
+	n.mu.RLock()
+	h := n.hook
+	n.mu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h(op, key)
+}
+
 // apply records a membership change if it is newer than the stored record.
 func (n *Node) apply(key string, m Member, rec record) error {
+	if err := n.runHook("apply", key); err != nil {
+		return fmt.Errorf("node %s: %w", n.ID, err)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if !n.up {
@@ -134,6 +163,9 @@ func (n *Node) apply(key string, m Member, rec record) error {
 
 // View returns the node's current view of key.
 func (n *Node) View(key string) (SetView, error) {
+	if err := n.runHook("view", key); err != nil {
+		return nil, fmt.Errorf("node %s: %w", n.ID, err)
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	if !n.up {

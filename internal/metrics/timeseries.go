@@ -114,6 +114,20 @@ func (ts *TimeSeries) Totals() []float64 {
 	return out
 }
 
+// Max returns the largest per-bucket sum and the index of its bucket —
+// the peak of the series (e.g. the worst dial-rate spike during a
+// reconnect storm). An all-empty series returns (0, 0).
+func (ts *TimeSeries) Max() (peak float64, bucket int) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for i, s := range ts.sums {
+		if s > peak {
+			peak, bucket = s, i
+		}
+	}
+	return peak, bucket
+}
+
 // GrandTotal returns the sum over all buckets.
 func (ts *TimeSeries) GrandTotal() float64 {
 	ts.mu.Lock()
