@@ -6,15 +6,14 @@
 package bladerunner
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"net"
-	"strconv"
 	"testing"
 	"time"
 
 	"bladerunner/internal/apps"
+	"bladerunner/internal/bench"
 	"bladerunner/internal/brass"
 	"bladerunner/internal/burst"
 	"bladerunner/internal/experiments"
@@ -142,53 +141,26 @@ func BenchmarkAblationGenericVsPerApp(b *testing.B) {
 }
 
 // ---- Microbenchmarks of the hot paths ----
+//
+// The four headline hot-path benchmarks live in internal/bench so that
+// cmd/brbench -bench-json emits numbers from exactly this code.
 
-func BenchmarkBURSTFrameRoundTrip(b *testing.B) {
-	payload, _ := burst.EncodePayload(burst.Batch{Deltas: []burst.Delta{
-		burst.PayloadDelta(7, bytes.Repeat([]byte("x"), 256)),
-	}})
-	frame := burst.Frame{Type: burst.FrameBatch, SID: 42, Payload: payload}
-	var buf bytes.Buffer
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf.Reset()
-		if err := burst.WriteFrame(&buf, frame); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := burst.ReadFrame(&buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkBURSTFrameRoundTrip(b *testing.B) { bench.BURSTFrameRoundTrip(b) }
 
-func newBenchKV() *kvstore.Cluster {
-	nodes := []*kvstore.Node{
-		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
-	}
-	return kvstore.MustNewCluster(nodes, 3)
-}
+func BenchmarkPylonPublish(b *testing.B) { bench.PylonPublish(b) }
+
+// BenchmarkHotTopicFanout is the subscriber-cache acceptance benchmark:
+// one publish fanning out to 1000 subscribed hosts on one hot topic.
+func BenchmarkHotTopicFanout(b *testing.B) { bench.HotTopicFanout(b) }
+
+func BenchmarkEndToEndCommentPush(b *testing.B) { bench.EndToEndCommentPush(b) }
+
+func newBenchKV() *kvstore.Cluster { return bench.NewKV() }
 
 type benchSink struct{ n int }
 
 func (s *benchSink) ID() string            { return "sink" }
 func (s *benchSink) Deliver(_ pylon.Event) { s.n++ }
-
-func BenchmarkPylonPublish(b *testing.B) {
-	pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
-	sink := &benchSink{}
-	pyl.RegisterHost(sink)
-	if err := pyl.Subscribe("/bench", "sink"); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := pyl.Publish(pylon.Event{Topic: "/bench", Ref: uint64(i)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
 
 func BenchmarkPylonSubscribe(b *testing.B) {
 	pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
@@ -244,62 +216,6 @@ func BenchmarkGraphPrivacyCheck(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.Blocks(socialgraph.UserID(i%10000+1), socialgraph.UserID((i*7)%10000+1))
-	}
-}
-
-// BenchmarkEndToEndCommentPush measures one comment's full live-stack trip:
-// WAS mutation → TAO write → Pylon publish → BRASS filter+fetch → BURST
-// push → client receive.
-func BenchmarkEndToEndCommentPush(b *testing.B) {
-	pyl := pylon.MustNew(pylon.DefaultConfig(), newBenchKV())
-	store := tao.MustNewStore(tao.DefaultConfig(), nil)
-	graph := socialgraph.MustGenerate(socialgraph.Config{Users: 100, MeanFriends: 5, Seed: 1})
-	w := was.New(store, graph, pyl, nil)
-	suite := apps.NewSuite(w)
-
-	host := brass.NewHost(brass.HostConfig{ID: "bench-host", Region: "us"}, pyl, w, nil)
-	defer host.Close()
-	suite.RegisterBRASS(host)
-
-	cliConn, hostConn := net.Pipe()
-	cli := burst.NewClient("bench-device", cliConn, nil)
-	defer cli.Close()
-	host.AcceptSession("bench", hostConn)
-	st, err := cli.Subscribe(burst.Subscribe{Header: burst.Header{
-		burst.HdrApp:          apps.AppFeedComments,
-		burst.HdrSubscription: "feedPostComments(postID: 1)",
-		burst.HdrUser:         "1",
-	}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for len(pyl.Subscribers(apps.PostTopic(1))) == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := w.Mutate(2, `postFeedComment(postID: 1, text: "`+strconv.Itoa(i)+`")`); err != nil {
-			b.Fatal(err)
-		}
-		// Wait for the push to arrive at the device.
-		for {
-			batch, ok := <-st.Events
-			if !ok {
-				b.Fatal("stream closed")
-			}
-			done := false
-			for _, d := range batch {
-				if d.Type == burst.DeltaPayload {
-					done = true
-				}
-			}
-			if done {
-				break
-			}
-		}
 	}
 }
 

@@ -8,22 +8,99 @@
 //	brbench -exp fig6        # run one (table1, table2, table3, fig6..fig10, switchover)
 //	brbench -seed 7          # change the RNG seed
 //	brbench -series          # also dump the full figure series as CSV
+//	brbench -bench-json F    # run the hot-path benchmarks, write ns/op and
+//	                         # allocs/op to F (e.g. BENCH_3.json), skip experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"testing"
 
+	"bladerunner/internal/bench"
 	"bladerunner/internal/experiments"
 )
 
+// benchResult is one benchmark's record in the -bench-json report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// benchBaseline holds the hot-path numbers recorded at commit 5cf3a5f —
+// immediately before the subscriber-cache / payload-coalescing /
+// frame-pooling fast path landed — on the same reference machine the
+// "after" numbers in BENCH_3.json were measured on. They are kept here so
+// every regenerated report carries its before/after comparison.
+var benchBaseline = []benchResult{
+	{Name: "PylonPublish", NsPerOp: 3511, AllocsPerOp: 30, BytesPerOp: 2579},
+	{Name: "HotTopicFanout", NsPerOp: 1599513, AllocsPerOp: 97, BytesPerOp: 810832},
+	{Name: "BURSTFrameRoundTrip", NsPerOp: 156.8, AllocsPerOp: 3, BytesPerOp: 448},
+	{Name: "EndToEndCommentPush", NsPerOp: 212591, AllocsPerOp: 80, BytesPerOp: 6375},
+}
+
+// benchReport is the schema of the -bench-json file.
+type benchReport struct {
+	Before []benchResult `json:"before"` // pre-fast-path baseline (commit 5cf3a5f)
+	After  []benchResult `json:"after"`  // this build
+}
+
+// runBenchJSON runs the shared hot-path benchmark bodies (internal/bench —
+// the same code `go test -bench` runs) and writes the report to path.
+func runBenchJSON(path string) error {
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"PylonPublish", bench.PylonPublish},
+		{"HotTopicFanout", bench.HotTopicFanout},
+		{"BURSTFrameRoundTrip", bench.BURSTFrameRoundTrip},
+		{"EndToEndCommentPush", bench.EndToEndCommentPush},
+	}
+	results := make([]benchResult, 0, len(cases))
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", c.name)
+		r := testing.Benchmark(c.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed", c.name)
+		}
+		results = append(results, benchResult{
+			Name:        c.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+		fmt.Printf("%-22s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+	}
+	out, err := json.MarshalIndent(benchReport{Before: benchBaseline, After: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
+	benchJSON := flag.String("bench-json", "", "write hot-path benchmark results (ns/op, allocs/op) to this JSON file and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "brbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func() experiments.Result{
 		"table1":     func() experiments.Result { return experiments.Table1(*seed, 2_000_000) },
@@ -36,6 +113,7 @@ func main() {
 		"fig10":      func() experiments.Result { return experiments.Figure10(*seed) },
 		"switchover": func() experiments.Result { return experiments.Switchover(*seed) },
 		"storm":      func() experiments.Result { return experiments.ReconnectStorm(*seed) },
+		"hotfanout":  func() experiments.Result { return experiments.HotFanout(*seed) },
 		"ablations":  nil, // expanded below
 	}
 

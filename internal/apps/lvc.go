@@ -261,10 +261,12 @@ func (in *lvcInstance) flush(st *brass.Stream, state *lvcStream) {
 			st.Filtered()
 			continue
 		}
-		_ = st.PushPayload(item.Seq, payload)
-		// Persist the limiter state so a replacement BRASS resumes the
-		// cadence after failover (§3.5 "Resumption").
-		_ = st.RewriteHeaderField(brass.HdrRateLimiterState, state.limiter.HeaderState())
+		// Coalesce the comment payload and the limiter-state rewrite (the
+		// persisted cadence a replacement BRASS resumes from after
+		// failover, §3.5 "Resumption") into one batch frame.
+		_ = st.QueuePayload(item.Seq, payload)
+		_ = st.QueueRewriteHeaderField(brass.HdrRateLimiterState, state.limiter.HeaderState())
+		_ = st.Flush()
 		return
 	}
 }

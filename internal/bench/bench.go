@@ -1,0 +1,176 @@
+// Package bench holds the hot-path benchmark bodies shared by the root
+// `go test -bench` suite and cmd/brbench's machine-readable BENCH report.
+// Keeping them in one non-test package means the numbers in BENCH_*.json
+// are produced by exactly the code `go test -bench` runs, and that the
+// bodies are subject to brlint (no wall-clock polling — waits go through
+// pylon.WaitForSubscriber or channel receives).
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/brass"
+	"bladerunner/internal/burst"
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/tao"
+	"bladerunner/internal/was"
+)
+
+// NewKV builds the 3-node, 3-replica cluster every benchmark publishes
+// through.
+func NewKV() *kvstore.Cluster {
+	nodes := []*kvstore.Node{
+		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
+	}
+	return kvstore.MustNewCluster(nodes, 3)
+}
+
+// Sink is a delivery-counting pylon.Subscriber.
+type Sink struct {
+	id string
+	n  int
+}
+
+func NewSink(id string) *Sink         { return &Sink{id: id} }
+func (s *Sink) ID() string            { return s.id }
+func (s *Sink) Deliver(_ pylon.Event) { s.n++ }
+func (s *Sink) Count() int            { return s.n }
+
+// PylonPublish measures one publish to a single-subscriber topic — the
+// per-event floor of the fan-out path.
+func PylonPublish(b *testing.B) {
+	pyl := pylon.MustNew(pylon.DefaultConfig(), NewKV())
+	sink := NewSink("sink")
+	pyl.RegisterHost(sink)
+	if err := pyl.Subscribe("/bench", "sink"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pyl.Publish(pylon.Event{Topic: "/bench", Ref: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// HotTopicFanout measures one publish to a topic with 1000 subscribed
+// hosts — the paper's hot-event shape (§3.2) and the case the subscriber
+// cache exists for: repeat publishes must not re-read the replicated
+// subscription store per event.
+func HotTopicFanout(b *testing.B) {
+	HotTopicFanoutConfig(b, pylon.DefaultConfig())
+}
+
+// HotTopicFanoutConfig is HotTopicFanout with a caller-supplied Pylon
+// config, so the hotfanout experiment can ablate the subscriber cache.
+func HotTopicFanoutConfig(b *testing.B, cfg pylon.Config) {
+	const subscribers = 1000
+	pyl := pylon.MustNew(cfg, NewKV())
+	topic := pylon.Topic("/bench/hot")
+	for i := 0; i < subscribers; i++ {
+		s := NewSink(fmt.Sprintf("sink-%d", i))
+		pyl.RegisterHost(s)
+		if err := pyl.Subscribe(topic, s.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := pyl.Publish(pylon.Event{Topic: topic, Ref: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != subscribers {
+			b.Fatalf("fanout reached %d of %d subscribers", n, subscribers)
+		}
+	}
+}
+
+// BURSTFrameRoundTrip measures encoding and decoding one batch frame with a
+// 256-byte payload delta.
+func BURSTFrameRoundTrip(b *testing.B) {
+	payload, err := burst.EncodePayload(burst.Batch{Deltas: []burst.Delta{
+		burst.PayloadDelta(7, bytes.Repeat([]byte("x"), 256)),
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := burst.Frame{Type: burst.FrameBatch, SID: 42, Payload: payload}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := burst.WriteFrame(&buf, frame); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := burst.ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EndToEndCommentPush measures one comment's full live-stack trip: WAS
+// mutation → TAO write → Pylon publish → BRASS filter+fetch → BURST push →
+// client receive.
+func EndToEndCommentPush(b *testing.B) {
+	pyl := pylon.MustNew(pylon.DefaultConfig(), NewKV())
+	store := tao.MustNewStore(tao.DefaultConfig(), nil)
+	graph := socialgraph.MustGenerate(socialgraph.Config{Users: 100, MeanFriends: 5, Seed: 1})
+	w := was.New(store, graph, pyl, nil)
+	suite := apps.NewSuite(w)
+
+	host := brass.NewHost(brass.HostConfig{ID: "bench-host", Region: "us"}, pyl, w, nil)
+	defer host.Close()
+	suite.RegisterBRASS(host)
+
+	cliConn, hostConn := net.Pipe()
+	cli := burst.NewClient("bench-device", cliConn, nil)
+	defer cli.Close()
+	host.AcceptSession("bench", hostConn)
+	st, err := cli.Subscribe(burst.Subscribe{Header: burst.Header{
+		burst.HdrApp:          apps.AppFeedComments,
+		burst.HdrSubscription: "feedPostComments(postID: 1)",
+		burst.HdrUser:         "1",
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !pyl.WaitForSubscriber(nil, apps.PostTopic(1), 5*time.Second) {
+		b.Fatal("BRASS host never subscribed to the post topic")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Mutate(2, `postFeedComment(postID: 1, text: "`+strconv.Itoa(i)+`")`); err != nil {
+			b.Fatal(err)
+		}
+		// Wait for the push to arrive at the device.
+		for {
+			batch, ok := <-st.Events
+			if !ok {
+				b.Fatal("stream closed")
+			}
+			done := false
+			for _, d := range batch {
+				if d.Type == burst.DeltaPayload {
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"time"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/cache"
 	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/pylon"
@@ -51,6 +53,14 @@ type HostConfig struct {
 	// BackoffSeed seeds the retry jitter RNG; 0 derives a seed from ID so
 	// a fleet of hosts decorrelates deterministically.
 	BackoffSeed int64
+	// PayloadCacheSize caps the host's shared hot-event payload cache
+	// (entries). 0 takes DefaultPayloadCacheSize; negative disables
+	// payload caching and coalescing entirely (every stream fetches from
+	// the WAS independently, the pre-fast-path behaviour).
+	PayloadCacheSize int
+	// PayloadCacheTTL bounds how long resolved payload bytes may be
+	// served without re-reading TAO. 0 takes DefaultPayloadCacheTTL.
+	PayloadCacheTTL time.Duration
 }
 
 // Host is one BRASS host: a multi-tenant machine running one instance per
@@ -80,6 +90,11 @@ type Host struct {
 
 	subBackoff *faults.Backoff
 
+	// payloadCache and payloadFlight implement the hot-event payload fast
+	// path (see payload.go). payloadCache is nil when disabled.
+	payloadCache  *cache.LRU[payloadKey, []byte]
+	payloadFlight cache.Group[payloadKey, []byte]
+
 	// Metrics (exported so experiments and tests can assert on them).
 	Decisions          metrics.Counter
 	Deliveries         metrics.Counter
@@ -92,7 +107,10 @@ type Host struct {
 	PylonSubs          metrics.Counter
 	PylonSubDedups     metrics.Counter // Pylon registrations avoided by the manager
 	PylonSubRetries    metrics.Counter // background re-subscription attempts
-	WASFetches         metrics.Counter
+	WASFetches         metrics.Counter // stream-level payload fetch requests
+	PayloadCacheHits   metrics.Counter // fetches served from the payload cache
+	PayloadCacheMisses metrics.Counter // fetches that had to resolve via the WAS
+	CoalescedFetches   metrics.Counter // fetches that shared another caller's WAS read
 }
 
 // subRetry is one topic's background re-subscription state.
@@ -127,6 +145,19 @@ func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Sc
 		sessions:      make(map[*burst.ServerSession]bool),
 		perStream:     make(map[*Instance]bool),
 		subBackoff:    faults.NewBackoff(cfg.SubscribeBackoff, seed),
+	}
+	if cfg.PayloadCacheSize >= 0 {
+		size := cfg.PayloadCacheSize
+		if size == 0 {
+			size = DefaultPayloadCacheSize
+		}
+		ttl := cfg.PayloadCacheTTL
+		if ttl == 0 {
+			ttl = DefaultPayloadCacheTTL
+		}
+		// Seeded off the host identity so a fleet decorrelates its TTL
+		// refreshes deterministically.
+		h.payloadCache = cache.NewLRU[payloadKey, []byte](size, ttl, 0.25, sched, seed)
 	}
 	if pyl != nil {
 		pyl.RegisterHost(h)

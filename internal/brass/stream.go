@@ -73,6 +73,37 @@ func (st *Stream) PushPayload(seq uint64, payload []byte) error {
 	return st.Push(burst.PayloadDelta(seq, payload))
 }
 
+// QueuePayload buffers a payload delta for the stream's next Flush without
+// sending a frame. Combined with QueueRewriteHeaderField and Flush, one
+// application decision (payload + state rewrite) travels as a single batch
+// frame instead of one frame per delta. Loop-only, like Push.
+func (st *Stream) QueuePayload(seq uint64, payload []byte) error {
+	return st.burst.Queue(burst.PayloadDelta(seq, payload))
+}
+
+// QueueRewriteHeaderField buffers a single-key header rewrite for the next
+// Flush. The server-side stored request updates immediately. Loop-only.
+func (st *Stream) QueueRewriteHeaderField(key, value string) error {
+	return st.burst.QueueRewriteHeaderField(key, value)
+}
+
+// Flush sends the queued deltas as one atomic batch, counting a delivery
+// per payload delta (the same accounting Push applies). Loop-only.
+func (st *Stream) Flush() error {
+	deltas, err := st.burst.Flush()
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, d := range deltas {
+		if d.Type == burst.DeltaPayload {
+			n++
+		}
+	}
+	st.inst.host.Deliveries.Add(int64(n))
+	return nil
+}
+
 // Filtered records that the application decided not to deliver an update
 // to this stream (the complement of Push in the decision accounting).
 func (st *Stream) Filtered() { st.inst.host.Filtered.Inc() }
@@ -105,10 +136,11 @@ func (st *Stream) Redirect(targetHostID string) error {
 }
 
 // FetchPayload asks the WAS for the device-facing payload of ev, running
-// the privacy check as this stream's viewer (step 8 of Fig 5).
+// the privacy check as this stream's viewer (step 8 of Fig 5). The TAO
+// read is shared host-wide across the streams fanning out the same event
+// (see payload.go); the returned bytes must not be mutated.
 func (st *Stream) FetchPayload(ev pylon.Event) ([]byte, error) {
-	st.inst.host.WASFetches.Inc()
-	return st.inst.host.was.FetchPayload(st.inst.app.Name(), st.Viewer, ev)
+	return st.inst.host.fetchPayload(st.inst.app.Name(), st.Viewer, ev)
 }
 
 // Runtime is the capability surface handed to application instances. Apps

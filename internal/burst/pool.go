@@ -1,0 +1,31 @@
+package burst
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Frame encoding on the send path is the per-delta hot loop of the whole
+// stack: every payload push JSON-encodes a Batch. Encoding into pooled
+// buffers (written to the wire before the buffer is released) removes the
+// per-frame allocation of json.Marshal's returned slice.
+
+// maxPooledBuf caps the size of buffers returned to the pool; encoding a
+// rare jumbo batch must not pin megabytes in the pool forever.
+const maxPooledBuf = 1 << 20
+
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+func getEncBuf() *bytes.Buffer {
+	return encBufPool.Get().(*bytes.Buffer)
+}
+
+func putEncBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	encBufPool.Put(b)
+}

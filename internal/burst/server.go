@@ -42,6 +42,10 @@ type ServerStream struct {
 	mu         sync.Mutex
 	sub        Subscribe
 	terminated bool
+	// pending holds deltas queued for the next Flush; coalescing several
+	// deltas (payloads plus rewrites) into one batch frame halves the
+	// per-update frame count on chatty streams.
+	pending []Delta
 
 	// State is free space for the application (e.g. the BRASS keeps its
 	// per-stream filter state here). Synchronize externally if accessed
@@ -113,6 +117,75 @@ func (st *ServerStream) SendBatch(deltas ...Delta) error {
 	}
 	st.mu.Unlock()
 	return st.srv.sess.SendMsg(FrameBatch, st.sid, Batch{Deltas: deltas})
+}
+
+// Queue buffers deltas for the stream's next Flush instead of sending them
+// immediately. Use it to coalesce the deltas of one application decision —
+// a payload push plus a state rewrite, several ranked payloads — into a
+// single batch frame. Queued deltas are not visible to the peer until
+// Flush.
+func (st *ServerStream) Queue(deltas ...Delta) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.terminated {
+		return fmt.Errorf("stream %d: %w", st.sid, ErrStreamClosed)
+	}
+	st.pending = append(st.pending, deltas...)
+	return nil
+}
+
+// QueueRewrite buffers a rewrite_request delta and updates the server's
+// stored request immediately (the server's view of the reconnect state must
+// not lag its own decisions; the peer converges at Flush).
+func (st *ServerStream) QueueRewrite(h Header, body []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.terminated {
+		return fmt.Errorf("stream %d: %w", st.sid, ErrStreamClosed)
+	}
+	if h != nil {
+		st.sub.Header = h.Clone()
+	}
+	if body != nil {
+		st.sub.Body = append([]byte(nil), body...)
+	}
+	st.pending = append(st.pending, RewriteDelta(h, body))
+	return nil
+}
+
+// QueueRewriteHeaderField buffers a single-key header rewrite (see
+// RewriteHeaderField).
+func (st *ServerStream) QueueRewriteHeaderField(key, value string) error {
+	st.mu.Lock()
+	h := st.sub.Header.Clone()
+	st.mu.Unlock()
+	if h == nil {
+		h = Header{}
+	}
+	h[key] = value
+	return st.QueueRewrite(h, nil)
+}
+
+// Flush sends every queued delta as one atomic batch frame and returns the
+// deltas it sent (nil for an empty queue, which is a no-op). Callers
+// serialize Flush with their Queue calls (in BRASS both run on the
+// instance event loop).
+func (st *ServerStream) Flush() ([]Delta, error) {
+	st.mu.Lock()
+	if st.terminated {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("stream %d: %w", st.sid, ErrStreamClosed)
+	}
+	deltas := st.pending
+	st.pending = nil
+	st.mu.Unlock()
+	if len(deltas) == 0 {
+		return nil, nil
+	}
+	if err := st.srv.sess.SendMsg(FrameBatch, st.sid, Batch{Deltas: deltas}); err != nil {
+		return nil, err
+	}
+	return deltas, nil
 }
 
 // Rewrite sends a rewrite_request delta and updates the server's own copy

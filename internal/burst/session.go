@@ -2,6 +2,7 @@ package burst
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -109,16 +110,25 @@ func (s *Session) Send(f Frame) error {
 }
 
 // SendMsg encodes v as the payload of a frame of type t on stream sid.
+// The encoding runs in a pooled buffer that is written to the wire (Send
+// flushes synchronously) before being reused, so the fast path allocates no
+// per-frame payload slice.
 func (s *Session) SendMsg(t FrameType, sid StreamID, v any) error {
-	var payload []byte
-	if v != nil {
-		var err error
-		payload, err = EncodePayload(v)
-		if err != nil {
-			return err
-		}
+	if v == nil {
+		return s.Send(Frame{Type: t, SID: sid})
 	}
-	return s.Send(Frame{Type: t, SID: sid, Payload: payload})
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		return fmt.Errorf("burst: encode payload: %w", err)
+	}
+	b := buf.Bytes()
+	// json.Encoder appends a newline after each value; trim it so the
+	// wire bytes match EncodePayload exactly.
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	return s.Send(Frame{Type: t, SID: sid, Payload: b})
 }
 
 // Ping sends a liveness probe.

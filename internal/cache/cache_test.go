@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+func TestLRUBasicPutGet(t *testing.T) {
+	c := NewLRU[string, int](2, 0, 0, nil, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("Get(a) after overwrite = %d, want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU[string, int](2, 0, 0, nil, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // a is now more recent than b
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; want LRU victim")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted; want it retained (recently used)")
+	}
+	if _, _, evictions, _ := statsOf(c); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+}
+
+func statsOf[K comparable, V any](c *LRU[K, V]) (h, m, e, x int64) {
+	return c.Stats()
+}
+
+func TestLRUTTLExpiry(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	c := NewLRU[string, int](4, time.Second, 0, clk, 1)
+	c.Put("a", 1)
+	clk.Advance(999 * time.Millisecond)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clk.Advance(2 * time.Millisecond)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if _, _, _, exp := statsOf(c); exp != 1 {
+		t.Fatalf("expirations = %d, want 1", exp)
+	}
+	// A Put restarts the TTL.
+	c.Put("a", 2)
+	clk.Advance(500 * time.Millisecond)
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Fatalf("Get after re-Put = %d, %v; want 2, true", v, ok)
+	}
+}
+
+func TestLRUTTLJitterDeterministicAndBounded(t *testing.T) {
+	const ttl = time.Second
+	deadlines := func(seed int64) []time.Time {
+		clk := sim.NewManualClock(time.Unix(0, 0))
+		c := NewLRU[int, int](16, ttl, 0.5, clk, seed)
+		var out []time.Time
+		for i := 0; i < 8; i++ {
+			c.Put(i, i)
+			out = append(out, c.entries[i].expires)
+		}
+		return out
+	}
+	a, b := deadlines(7), deadlines(7)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed, different jitter at %d: %v vs %v", i, a[i], b[i])
+		}
+		d := a[i].Sub(time.Unix(0, 0))
+		if d <= ttl/2 || d > ttl {
+			t.Fatalf("jittered TTL %v outside (%v, %v]", d, ttl/2, ttl)
+		}
+	}
+	other := deadlines(8)
+	same := true
+	for i := range a {
+		if !a[i].Equal(other[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	c := NewLRU[string, int](4, 0, 0, nil, 1)
+	c.Put("a", 1)
+	c.Delete("a")
+	c.Delete("a") // idempotent
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("deleted entry still resident")
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := NewLRU[int, int](64, time.Millisecond, 0.3, nil, 42)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 100
+				switch i % 3 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				default:
+					c.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 8
+	results := make(chan int, waiters)
+	go func() {
+		v, err, _ := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results <- v
+	}()
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < waiters-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, sh := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !sh {
+				t.Error("late caller not marked shared")
+			}
+			results <- v
+		}()
+	}
+	// Wait (white box) until every duplicate has joined the in-flight call —
+	// duplicates register under the group lock before blocking — then let
+	// the leader finish.
+	allJoined := func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		c := g.flight["k"]
+		return c != nil && c.joined == waiters-1
+	}
+	for !allJoined() {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("caller got %d, want 42 (leader's result)", v)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+}
+
+func TestSingleflightErrorSharedAndForgotten(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	if _, err, _ := g.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The key is forgotten after completion: the next call runs afresh.
+	v, err, shared := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("second Do = %d, %v, shared=%v; want 7, nil, false", v, err, shared)
+	}
+}
+
+func TestSingleflightDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int, string]
+	var wg sync.WaitGroup
+	var calls atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do(i, func() (string, error) {
+				calls.Add(1)
+				return fmt.Sprint(i), nil
+			})
+			if err != nil || v != fmt.Sprint(i) {
+				t.Errorf("Do(%d) = %q, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 16 {
+		t.Fatalf("calls = %d, want 16 (no cross-key coalescing)", calls.Load())
+	}
+}

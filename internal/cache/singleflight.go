@@ -1,0 +1,55 @@
+package cache
+
+import "sync"
+
+// flightCall is one in-flight fetch; callers after the first wait on wg.
+type flightCall[V any] struct {
+	wg     sync.WaitGroup
+	val    V
+	err    error
+	joined int // duplicate callers that attached to this flight
+}
+
+// Group coalesces concurrent calls for the same key into one execution of
+// the underlying fetch. The first caller for a key runs fn; every caller
+// that arrives while that fetch is in flight blocks and receives the same
+// result. Once the fetch completes the key is forgotten, so later calls
+// fetch afresh (pair with an LRU for read-your-writes caching).
+//
+// This is a from-scratch, stdlib-only take on the classic singleflight
+// pattern. The group mutex guards only the in-flight map — it is never held
+// across the blocking WaitGroup.Wait or across fn.
+type Group[K comparable, V any] struct {
+	mu     sync.Mutex
+	flight map[K]*flightCall[V]
+}
+
+// Do executes fn for key unless a call for key is already in flight, in
+// which case it waits for and returns that call's result. joined reports
+// whether this caller attached to another caller's execution (false for
+// the caller that ran fn) — i.e. the number of joined=true returns is the
+// number of fn executions the group saved.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, joined bool) {
+	g.mu.Lock()
+	if g.flight == nil {
+		g.flight = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.flight[key]; ok {
+		c.joined++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{}
+	c.wg.Add(1)
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

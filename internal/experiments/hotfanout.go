@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"bladerunner/internal/bench"
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+)
+
+// HotFanout is the subscriber-cache ablation for the hot-topic fast path
+// (paper §3.2's hot-event shape): one topic, 1000 subscribed BRASS hosts,
+// publish after publish. With the cache disabled every publish re-reads the
+// replicated subscription store; with it enabled only the first publish
+// (and any publish after an invalidation) does. The experiment runs the
+// exact benchmark body `go test -bench=HotTopicFanout` runs, once per
+// configuration, then replays a smaller instrumented run to report the
+// cache's own counters.
+func HotFanout(seed int64) Result {
+	r := Result{ID: "hotfanout", Title: "Hot-topic fan-out: cached vs uncached subscriber sets"}
+
+	cached := pylon.DefaultConfig()
+	uncached := pylon.DefaultConfig()
+	uncached.SubCacheSize = 0
+
+	cRes := testing.Benchmark(func(b *testing.B) { bench.HotTopicFanoutConfig(b, cached) })
+	uRes := testing.Benchmark(func(b *testing.B) { bench.HotTopicFanoutConfig(b, uncached) })
+
+	r.AddRow("uncached publish", "-", fmt.Sprintf("%d ns/op", uRes.NsPerOp()),
+		fmt.Sprintf("%d allocs/op", uRes.AllocsPerOp()))
+	r.AddRow("cached publish", "-", fmt.Sprintf("%d ns/op", cRes.NsPerOp()),
+		fmt.Sprintf("%d allocs/op", cRes.AllocsPerOp()))
+	if cRes.NsPerOp() > 0 {
+		r.AddRow("speedup", "-", fmt.Sprintf("%.1fx", float64(uRes.NsPerOp())/float64(cRes.NsPerOp())),
+			"uncached / cached ns per publish")
+	}
+	if uRes.AllocsPerOp() > 0 {
+		saved := 1 - float64(cRes.AllocsPerOp())/float64(uRes.AllocsPerOp())
+		r.AddRow("allocs saved", "-", pct(saved), "per publish")
+	}
+
+	// Instrumented replay: count replica reads and cache traffic directly.
+	const (
+		subscribers = 200
+		publishes   = 1000
+	)
+	nodes := []*kvstore.Node{
+		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
+	}
+	var views int64
+	for _, n := range nodes {
+		n.SetOpHook(func(op, key string) error {
+			if op == "view" {
+				views++
+			}
+			return nil
+		})
+	}
+	pyl := pylon.MustNew(cached, kvstore.MustNewCluster(nodes, 3))
+	topic := pylon.Topic("/exp/hot")
+	for i := 0; i < subscribers; i++ {
+		s := bench.NewSink(fmt.Sprintf("sink-%d", i))
+		pyl.RegisterHost(s)
+		if err := pyl.Subscribe(topic, s.ID()); err != nil {
+			r.AddRow("error", "-", err.Error(), "subscribe failed")
+			return r
+		}
+	}
+	for i := 0; i < publishes; i++ {
+		if _, err := pyl.Publish(pylon.Event{Topic: topic, Ref: uint64(i)}); err != nil {
+			r.AddRow("error", "-", err.Error(), "publish failed")
+			return r
+		}
+	}
+	r.AddRow("cache hit rate", "-",
+		pct(float64(pyl.SubCacheHits.Value())/float64(publishes)),
+		fmt.Sprintf("%d publishes, %d misses, %d stale", publishes,
+			pyl.SubCacheMiss.Value(), pyl.SubCacheStale.Value()))
+	r.AddRow("replica reads", "-", fmt.Sprintf("%d", views),
+		fmt.Sprintf("vs %d uncached (replicas x publishes)", 3*publishes))
+	return r
+}

@@ -100,5 +100,6 @@ func All(seed int64) []Result {
 		Figure10(seed),
 		Switchover(seed),
 		ReconnectStorm(seed),
+		HotFanout(seed),
 	}
 }

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CountHistogram records unitless integer observations — fan-out sizes,
+// batch lengths, queue depths — and answers count/mean/percentile queries.
+// It is the dimensionally honest sibling of Histogram, which records
+// durations; recording a count as a time.Duration lies to every reader of
+// the snapshot. Like Histogram it keeps exact count/sum/min/max and a
+// uniform seeded reservoir for quantiles.
+type CountHistogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	// reservoir holds a uniform sample of observations.
+	reservoir []int64
+	cap       int
+	rng       *rand.Rand
+	sorted    bool
+}
+
+// NewCountHistogram returns a CountHistogram with the default reservoir
+// size.
+func NewCountHistogram() *CountHistogram { return NewCountHistogramSize(DefaultReservoirSize) }
+
+// NewCountHistogramSize returns a CountHistogram whose reservoir holds up
+// to size samples. size must be positive.
+func NewCountHistogramSize(size int) *CountHistogram {
+	if size <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive reservoir size %d", size))
+	}
+	return &CountHistogram{
+		cap: size,
+		rng: rand.New(rand.NewSource(0x0b1ade)),
+	}
+}
+
+// Observe records one value.
+func (h *CountHistogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.reservoir) < h.cap {
+		h.reservoir = append(h.reservoir, v)
+		h.sorted = false
+		return
+	}
+	// Vitter's algorithm R.
+	if j := h.rng.Int63n(h.count); j < int64(h.cap) {
+		h.reservoir[j] = v
+		h.sorted = false
+	}
+}
+
+// Count returns the number of observations.
+func (h *CountHistogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *CountHistogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the exact mean, or 0 with no observations.
+func (h *CountHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *CountHistogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (h *CountHistogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) estimated from the
+// reservoir. It returns 0 with no observations.
+func (h *CountHistogram) Percentile(p float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.percentileLocked(p)
+}
+
+func (h *CountHistogram) percentileLocked(p float64) int64 {
+	n := len(h.reservoir)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if p <= 0 {
+		return h.reservoir[0]
+	}
+	if p >= 100 {
+		return h.reservoir[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.reservoir[lo]
+	}
+	frac := rank - float64(lo)
+	return h.reservoir[lo] + int64(math.Round(frac*float64(h.reservoir[hi]-h.reservoir[lo])))
+}
+
+func (h *CountHistogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.reservoir, func(i, j int) bool { return h.reservoir[i] < h.reservoir[j] })
+		h.sorted = true
+	}
+}
+
+// Snapshot returns a copy of the aggregate state for reporting.
+func (h *CountHistogram) Snapshot() CountHistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mean := 0.0
+	if h.count > 0 {
+		mean = float64(h.sum) / float64(h.count)
+	}
+	return CountHistogramSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		Mean:  mean,
+		P50:   h.percentileLocked(50),
+		P90:   h.percentileLocked(90),
+		P99:   h.percentileLocked(99),
+	}
+}
+
+// CountHistogramSnapshot is an immutable summary of a CountHistogram.
+type CountHistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	Mean                 float64
+	P50, P90, P99        int64
+}
+
+// String formats the snapshot compactly for logs and reports.
+func (s CountHistogramSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import "testing"
+
+func TestCountHistogramBasics(t *testing.T) {
+	h := NewCountHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{4, 2, 8, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Fatalf("Sum = %d, want 16", h.Sum())
+	}
+	if h.Mean() != 4 {
+		t.Fatalf("Mean = %v, want 4", h.Mean())
+	}
+	if h.Min() != 2 || h.Max() != 8 {
+		t.Fatalf("Min/Max = %d/%d, want 2/8", h.Min(), h.Max())
+	}
+}
+
+func TestCountHistogramPercentiles(t *testing.T) {
+	h := NewCountHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %d, want 1", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %d, want 100", p)
+	}
+	if p := h.Percentile(50); p < 49 || p > 52 {
+		t.Fatalf("p50 = %d, want ~50", p)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.Mean != 50.5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.String() == "" {
+		t.Fatal("empty snapshot string")
+	}
+}
+
+func TestCountHistogramReservoirBounded(t *testing.T) {
+	h := NewCountHistogramSize(8)
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i % 10)
+	}
+	if len(h.reservoir) != 8 {
+		t.Fatalf("reservoir len = %d, want 8", len(h.reservoir))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if p := h.Percentile(50); p < 0 || p > 9 {
+		t.Fatalf("p50 = %d outside observed range", p)
+	}
+}

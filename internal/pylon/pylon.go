@@ -17,16 +17,29 @@
 //     load can be rebalanced one shard at a time.
 //   - Pylon is content-agnostic: events carry metadata identifying the
 //     mutation in TAO, never the data itself (paper §1, unique aspect 3).
+//
+// Hot-topic fast path: the marquee workload (LiveVideoComments) publishes
+// thousands of events to one topic whose subscriber set barely changes, so
+// the publish path keeps a versioned subscriber-set cache. Every
+// subscription mutation bumps a per-shard version counter; Publish serves
+// fan-out from the cache while the version matches (and the TTL holds) and
+// falls back to the full staged replica read — first responder, patch
+// forward, replica repair — on any version change. Host registry and
+// shard→server routing are copy-on-write snapshots, and event-ID assignment
+// is striped, so publishes to distinct shards never contend on a lock.
 package pylon
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bladerunner/internal/cache"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/metrics"
+	"bladerunner/internal/sim"
 )
 
 // Topic names an area of interest in the social graph, structured like a
@@ -38,7 +51,9 @@ type Topic string
 // decide a client should see it.
 type Event struct {
 	Topic Topic
-	// ID is a unique event id assigned by Pylon at publish time.
+	// ID is a unique event id assigned by Pylon at publish time. IDs are
+	// unique across all topics and monotonic per shard stripe; they carry
+	// no global ordering.
 	ID uint64
 	// Ref identifies the mutated object in TAO (e.g. the comment id).
 	Ref uint64
@@ -66,6 +81,12 @@ var ErrNoQuorum = kvstore.ErrNoQuorum
 // ErrUnknownSubscriber is returned when subscribing an unregistered host.
 var ErrUnknownSubscriber = errors.New("pylon: unknown subscriber host")
 
+// eventStripes is the number of independent event-ID counters. Publish
+// picks the stripe by shard, so concurrent publishes to different shards
+// assign IDs without sharing a cache line. IDs embed the stripe in the low
+// byte (ID = seq<<8 | stripe), which keeps them unique across stripes.
+const eventStripes = 256
+
 // Config parameterizes the Pylon service.
 type Config struct {
 	// Shards is the number of topic shards (production: 512K). Shards
@@ -73,27 +94,106 @@ type Config struct {
 	Shards int
 	// Servers is the number of Pylon front-end servers.
 	Servers int
+	// SubCacheSize is the capacity (in topics) of the versioned
+	// subscriber-set cache on the publish path. 0 disables the cache and
+	// restores the read-every-publish behaviour.
+	SubCacheSize int
+	// SubCacheTTL bounds how long a cached subscriber set may be served
+	// without re-reading the replicas even when no version change was
+	// observed — the periodic-refresh half of the invalidation contract.
+	// <= 0 means entries never expire by age.
+	SubCacheTTL time.Duration
+	// Clock drives cache TTL expiry. nil uses the wall clock.
+	Clock sim.Clock
 }
 
-// DefaultConfig returns a test-scale configuration.
-func DefaultConfig() Config { return Config{Shards: 4096, Servers: 8} }
+// DefaultConfig returns a test-scale configuration with the subscriber
+// cache enabled.
+func DefaultConfig() Config {
+	return Config{
+		Shards:       4096,
+		Servers:      8,
+		SubCacheSize: 4096,
+		SubCacheTTL:  2 * time.Second,
+	}
+}
+
+// padded is a cache-line-padded atomic counter; slices of these are updated
+// from concurrent publishes without false sharing.
+type padded struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// routeTable is the immutable shard→server routing state, swapped
+// atomically as a whole so the publish path reads it without locking.
+type routeTable struct {
+	up       []bool
+	override map[int]int // explicit shard→server reassignments (MoveShard)
+	anyUp    bool
+}
+
+func (rt *routeTable) serverFor(shard, servers int) int {
+	if srv, ok := rt.override[shard]; ok {
+		return srv
+	}
+	return shard % servers
+}
+
+func (rt *routeTable) clone() *routeTable {
+	n := &routeTable{
+		up:       append([]bool(nil), rt.up...),
+		override: make(map[int]int, len(rt.override)),
+	}
+	for k, v := range rt.override {
+		n.override[k] = v
+	}
+	return n
+}
+
+func (rt *routeTable) recomputeAnyUp() {
+	rt.anyUp = false
+	for _, up := range rt.up {
+		if up {
+			rt.anyUp = true
+			return
+		}
+	}
+}
+
+// subEntry is one cached subscriber set: the quorum-merged member list as
+// of version ver of the topic's shard.
+type subEntry struct {
+	ver     uint64
+	members []kvstore.Member
+}
 
 // Service is the Pylon control plane plus fan-out data plane.
 type Service struct {
 	cfg Config
 	kv  *kvstore.Cluster
 
-	mu    sync.Mutex
-	hosts map[string]Subscriber
+	// hosts is the copy-on-write registry of known BRASS hosts; the
+	// publish path snapshots it once per fan-out. wmu serializes writers
+	// (RegisterHost/RemoveHost and the route-table mutators); readers
+	// never take it.
+	hosts atomic.Pointer[map[string]Subscriber]
+	route atomic.Pointer[routeTable]
+	wmu   sync.Mutex
 	// hostTopics is the reverse index used when a BRASS host fails and
-	// all its subscriptions must be removed (paper §4 axiom 1).
+	// all its subscriptions must be removed (paper §4 axiom 1). Guarded
+	// by wmu.
 	hostTopics map[string]map[Topic]bool
-	serverUp   []bool
-	serverLoad []int64
-	// shardOverride holds explicit shard→server reassignments made by
-	// MoveShard; absent shards use the modular default.
-	shardOverride map[int]int
-	nextEvent     uint64
+
+	serverLoad []padded
+	eventSeq   []padded // striped event-ID counters
+
+	// shardVer is the per-shard subscription version; every mutation of a
+	// topic's subscriber set bumps its shard AFTER the KV write completes,
+	// so a publisher that observes the new version is guaranteed to read
+	// the new subscriber state. subCache is nil when disabled.
+	shardVer []atomic.Uint64
+	subCache *cache.LRU[Topic, subEntry]
 
 	// Metrics.
 	Publishes     metrics.Counter
@@ -101,7 +201,10 @@ type Service struct {
 	PatchForwards metrics.Counter // deliveries triggered by late replicas
 	Patches       metrics.Counter // replica repair operations
 	DroppedNoSub  metrics.Counter // publishes with zero subscribers
-	FanoutSize    *metrics.Histogram
+	SubCacheHits  metrics.Counter // fan-outs served from the cache
+	SubCacheMiss  metrics.Counter // cold or TTL-expired lookups
+	SubCacheStale metrics.Counter // entries invalidated by a version bump
+	FanoutSize    *metrics.CountHistogram
 }
 
 // New builds a Pylon service over the given subscription KV cluster.
@@ -115,14 +218,24 @@ func New(cfg Config, kv *kvstore.Cluster) (*Service, error) {
 	s := &Service{
 		cfg:        cfg,
 		kv:         kv,
-		hosts:      make(map[string]Subscriber),
 		hostTopics: make(map[string]map[Topic]bool),
-		serverUp:   make([]bool, cfg.Servers),
-		serverLoad: make([]int64, cfg.Servers),
-		FanoutSize: metrics.NewHistogram(),
+		serverLoad: make([]padded, cfg.Servers),
+		eventSeq:   make([]padded, eventStripes),
+		shardVer:   make([]atomic.Uint64, cfg.Shards),
+		FanoutSize: metrics.NewCountHistogram(),
 	}
-	for i := range s.serverUp {
-		s.serverUp[i] = true
+	hosts := make(map[string]Subscriber)
+	s.hosts.Store(&hosts)
+	rt := &routeTable{up: make([]bool, cfg.Servers), anyUp: true}
+	for i := range rt.up {
+		rt.up[i] = true
+	}
+	s.route.Store(rt)
+	if cfg.SubCacheSize > 0 {
+		// Jittered TTLs decorrelate the periodic refresh across hot
+		// topics; the seed is fixed so runs stay reproducible.
+		s.subCache = cache.NewLRU[Topic, subEntry](
+			cfg.SubCacheSize, cfg.SubCacheTTL, 0.25, cfg.Clock, 0x0b1ade)
 	}
 	return s, nil
 }
@@ -139,9 +252,15 @@ func MustNew(cfg Config, kv *kvstore.Cluster) *Service {
 // RegisterHost makes a BRASS host known to Pylon so subscriptions can be
 // delivered to it.
 func (s *Service) RegisterHost(sub Subscriber) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.hosts[sub.ID()] = sub
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	old := *s.hosts.Load()
+	hosts := make(map[string]Subscriber, len(old)+1)
+	for k, v := range old {
+		hosts[k] = v
+	}
+	hosts[sub.ID()] = sub
+	s.hosts.Store(&hosts)
 	if s.hostTopics[sub.ID()] == nil {
 		s.hostTopics[sub.ID()] = make(map[Topic]bool)
 	}
@@ -155,60 +274,53 @@ func (s *Service) Shard(t Topic) int {
 // ServerFor returns the index of the Pylon server owning the topic's
 // shard, honoring any rebalancing overrides.
 func (s *Service) ServerFor(t Topic) int {
-	shard := s.Shard(t)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.serverForShardLocked(shard)
-}
-
-func (s *Service) serverForShardLocked(shard int) int {
-	if srv, ok := s.shardOverride[shard]; ok {
-		return srv
-	}
-	return shard % s.cfg.Servers
+	return s.route.Load().serverFor(s.Shard(t), s.cfg.Servers)
 }
 
 // SetServerUp marks a Pylon front-end up or down (failure injection).
 func (s *Service) SetServerUp(i int, up bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.serverUp[i] = up
-}
-
-// anyServerUp reports whether some front end can take over a failed one.
-func (s *Service) anyServerUp() bool {
-	for _, up := range s.serverUp {
-		if up {
-			return true
-		}
-	}
-	return false
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	rt := s.route.Load().clone()
+	rt.up[i] = up
+	rt.recomputeAnyUp()
+	s.route.Store(rt)
 }
 
 // ErrUnavailable is returned when no Pylon front end is reachable.
 var ErrUnavailable = errors.New("pylon: no server available")
+
+// bumpShard advances a shard's subscription version, invalidating every
+// cached subscriber set in the shard. Callers bump after the KV write so a
+// publisher that loads the new version always reads post-write state.
+func (s *Service) bumpShard(shard int) {
+	s.shardVer[shard].Add(1)
+}
 
 // Subscribe registers hostID for topic. The write is CP: it fails without a
 // KV quorum, in which case the caller (the BRASS subscription manager)
 // retries against another replica set or surfaces the failure.
 func (s *Service) Subscribe(topic Topic, hostID string) error {
 	shard := s.Shard(topic)
-	s.mu.Lock()
-	_, known := s.hosts[hostID]
-	serverOK := s.serverUp[s.serverForShardLocked(shard)] || s.anyServerUp()
-	s.mu.Unlock()
-	if !known {
+	if _, known := (*s.hosts.Load())[hostID]; !known {
 		return fmt.Errorf("%w: %q", ErrUnknownSubscriber, hostID)
 	}
-	if !serverOK {
+	rt := s.route.Load()
+	if !rt.up[rt.serverFor(shard, s.cfg.Servers)] && !rt.anyUp {
 		return ErrUnavailable
 	}
 	if _, err := s.kv.SetAdd(string(topic), kvstore.Member(hostID)); err != nil {
 		return fmt.Errorf("pylon: subscribe %q: %w", topic, err)
 	}
-	s.mu.Lock()
-	s.hostTopics[hostID][topic] = true
-	s.mu.Unlock()
+	s.wmu.Lock()
+	// The host may have been concurrently removed; in that case its KV
+	// entries are being torn down by RemoveHost and we must not resurrect
+	// the reverse-index entry.
+	if m := s.hostTopics[hostID]; m != nil {
+		m[topic] = true
+	}
+	s.wmu.Unlock()
+	s.bumpShard(shard)
 	return nil
 }
 
@@ -217,32 +329,44 @@ func (s *Service) Unsubscribe(topic Topic, hostID string) error {
 	if _, err := s.kv.SetRemove(string(topic), kvstore.Member(hostID)); err != nil {
 		return fmt.Errorf("pylon: unsubscribe %q: %w", topic, err)
 	}
-	s.mu.Lock()
+	s.wmu.Lock()
 	if m := s.hostTopics[hostID]; m != nil {
 		delete(m, topic)
 	}
-	s.mu.Unlock()
+	s.wmu.Unlock()
+	s.bumpShard(s.Shard(topic))
 	return nil
 }
 
 // RemoveHost drops every subscription held by hostID — invoked when Pylon
-// detects a BRASS host failure.
+// detects a BRASS host failure. The host leaves the delivery snapshot
+// immediately: even a publish served from a cached subscriber set that
+// still lists the host cannot deliver to it after RemoveHost returns.
 func (s *Service) RemoveHost(hostID string) {
-	s.mu.Lock()
+	s.wmu.Lock()
 	topics := make([]Topic, 0, len(s.hostTopics[hostID]))
 	for t := range s.hostTopics[hostID] {
 		topics = append(topics, t)
 	}
 	delete(s.hostTopics, hostID)
-	delete(s.hosts, hostID)
-	s.mu.Unlock()
+	old := *s.hosts.Load()
+	hosts := make(map[string]Subscriber, len(old))
+	for k, v := range old {
+		if k != hostID {
+			hosts[k] = v
+		}
+	}
+	s.hosts.Store(&hosts)
+	s.wmu.Unlock()
 	for _, t := range topics {
 		_, _ = s.kv.SetRemove(string(t), kvstore.Member(hostID))
+		s.bumpShard(s.Shard(t))
 	}
 }
 
 // Subscribers returns the current merged subscriber list for a topic
-// (diagnostics; the publish path uses the staged first-responder flow).
+// (diagnostics; the publish path uses the cache + staged first-responder
+// flow). It always reads the replicas.
 func (s *Service) Subscribers(topic Topic) []string {
 	resp := s.kv.ReadAll(string(topic))
 	views := make([]kvstore.SetView, 0, len(resp))
@@ -260,8 +384,22 @@ func (s *Service) Subscribers(topic Topic) []string {
 	return out
 }
 
+// nextEventID assigns an event ID from the shard's stripe counter.
+func (s *Service) nextEventID(shard int) uint64 {
+	stripe := uint64(shard) % eventStripes
+	seq := uint64(s.eventSeq[stripe].v.Add(1))
+	return seq<<8 | stripe
+}
+
 // Publish assigns the event an id and fans it out to the topic's
-// subscribers using first-responder forwarding:
+// subscribers.
+//
+// Fast path: if the topic's subscriber set is cached at the shard's
+// current subscription version (and within its TTL), fan-out runs straight
+// from the cached member list — no replica read, no patching.
+//
+// Slow path (cache miss, version change, TTL expiry, or cache disabled) is
+// the staged first-responder flow:
 //
 //  1. Query all replicas of the topic's subscriber list.
 //  2. Forward immediately to the members of the first successful response
@@ -269,31 +407,60 @@ func (s *Service) Subscribers(topic Topic) []string {
 //  3. When the other responses arrive, forward to members missing from the
 //     first list, and patch any divergent replica to the merged view.
 //
+// The merged view is cached under the version observed before the read;
+// any subscription mutation that raced the read also bumped the version
+// afterwards, so the stale entry misses on the next publish.
+//
 // Delivery is best effort: unknown or failed hosts are skipped silently.
 // Publish returns the number of hosts the event was sent to.
 func (s *Service) Publish(ev Event) (int, error) {
 	shard := s.Shard(ev.Topic)
-	s.mu.Lock()
-	srv := s.serverForShardLocked(shard)
-	if !s.serverUp[srv] {
-		if !s.anyServerUp() {
-			s.mu.Unlock()
+	rt := s.route.Load()
+	srv := rt.serverFor(shard, s.cfg.Servers)
+	if !rt.up[srv] {
+		if !rt.anyUp {
 			return 0, ErrUnavailable
 		}
 		// Another front end takes over the down server's shard.
-		for i, up := range s.serverUp {
+		for i, up := range rt.up {
 			if up {
 				srv = i
 				break
 			}
 		}
 	}
-	s.serverLoad[srv]++
-	s.nextEvent++
-	ev.ID = s.nextEvent
-	s.mu.Unlock()
+	s.serverLoad[srv].v.Add(1)
+	ev.ID = s.nextEventID(shard)
 
 	s.Publishes.Inc()
+
+	// The delivery snapshot is taken once per fan-out; deliverTo on the
+	// hot path is then a plain map lookup.
+	hosts := *s.hosts.Load()
+
+	// Fast path: version-checked cache hit. The version is loaded before
+	// the cache entry so a concurrent invalidation cannot be missed.
+	var ver uint64
+	if s.subCache != nil {
+		ver = s.shardVer[shard].Load()
+		if e, ok := s.subCache.Get(ev.Topic); ok {
+			if e.ver == ver {
+				s.SubCacheHits.Inc()
+				n := 0
+				for _, m := range e.members {
+					if sub := hosts[string(m)]; sub != nil {
+						sub.Deliver(ev)
+						n++
+					}
+				}
+				s.finishFanout(n)
+				return n, nil
+			}
+			s.SubCacheStale.Inc()
+		} else {
+			s.SubCacheMiss.Inc()
+		}
+	}
 
 	resp := s.kv.ReadAll(string(ev.Topic))
 
@@ -304,7 +471,8 @@ func (s *Service) Publish(ev Event) (int, error) {
 		if r.Err == nil {
 			first = i
 			for _, m := range r.View.Members() {
-				if s.deliverTo(m, ev) {
+				if sub := hosts[string(m)]; sub != nil {
+					sub.Deliver(ev)
 					sent[m] = true
 				}
 			}
@@ -331,7 +499,8 @@ func (s *Service) Publish(ev Event) (int, error) {
 		}
 		for _, m := range r.View.Members() {
 			if !sent[m] {
-				if s.deliverTo(m, ev) {
+				if sub := hosts[string(m)]; sub != nil {
+					sub.Deliver(ev)
 					sent[m] = true
 					s.PatchForwards.Inc()
 				}
@@ -341,31 +510,37 @@ func (s *Service) Publish(ev Event) (int, error) {
 	}
 
 	// Stage 3: repair divergent replicas toward the merged view.
+	merged := kvstore.Merge(views...)
+	patched := 0
 	if diverged || len(views) > 1 {
-		merged := kvstore.Merge(views...)
-		if patched := s.kv.Patch(string(ev.Topic), merged); patched > 0 {
+		if patched = s.kv.Patch(string(ev.Topic), merged); patched > 0 {
 			s.Patches.Add(int64(patched))
 		}
 	}
 
+	if s.subCache != nil {
+		if patched > 0 {
+			// The repair changed replica state out from under any entry
+			// cached off the divergent views (including by concurrent
+			// publishers); force the next publish to re-read.
+			s.bumpShard(shard)
+		} else {
+			s.subCache.Put(ev.Topic, subEntry{ver: ver, members: merged.Members()})
+		}
+	}
+
 	n := len(sent)
+	s.finishFanout(n)
+	return n, nil
+}
+
+// finishFanout records the per-publish delivery metrics.
+func (s *Service) finishFanout(n int) {
 	if n == 0 {
 		s.DroppedNoSub.Inc()
 	}
 	s.Deliveries.Add(int64(n))
-	s.FanoutSize.Observe(time.Duration(n))
-	return n, nil
-}
-
-func (s *Service) deliverTo(m kvstore.Member, ev Event) bool {
-	s.mu.Lock()
-	sub := s.hosts[string(m)]
-	s.mu.Unlock()
-	if sub == nil {
-		return false
-	}
-	sub.Deliver(ev)
-	return true
+	s.FanoutSize.Observe(int64(n))
 }
 
 func fnv64(s string) uint64 {

@@ -6,7 +6,9 @@ import "fmt"
 // (shard % servers); MoveShard reassigns a single shard, which is how load
 // is rebalanced incrementally — one shard at a time — without a global
 // reshuffle (paper §3.1). Per-server load counters identify the servers to
-// drain.
+// drain. Routing state is a copy-on-write snapshot (see routeTable): the
+// publish path reads it with one atomic load, and the mutators here build a
+// new table under the writer lock and swap it in.
 
 // MoveShard reassigns shard to server. It returns an error for
 // out-of-range arguments or when the target server is down.
@@ -17,47 +19,42 @@ func (s *Service) MoveShard(shard, server int) error {
 	if server < 0 || server >= s.cfg.Servers {
 		return fmt.Errorf("pylon: server %d out of range [0,%d)", server, s.cfg.Servers)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.serverUp[server] {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	rt := s.route.Load()
+	if !rt.up[server] {
 		return fmt.Errorf("pylon: server %d is down", server)
 	}
-	if s.shardOverride == nil {
-		s.shardOverride = make(map[int]int)
-	}
+	nrt := rt.clone()
 	if server == shard%s.cfg.Servers {
-		delete(s.shardOverride, shard) // back to the default placement
+		delete(nrt.override, shard) // back to the default placement
 	} else {
-		s.shardOverride[shard] = server
+		nrt.override[shard] = server
 	}
+	nrt.recomputeAnyUp()
+	s.route.Store(nrt)
 	return nil
 }
 
 // Overrides returns the number of shards placed off their default server.
 func (s *Service) Overrides() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.shardOverride)
+	return len(s.route.Load().override)
 }
 
 // ServerLoad returns the number of publishes handled by server i since
 // startup.
 func (s *Service) ServerLoad(i int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.serverLoad) {
 		return 0
 	}
-	return s.serverLoad[i]
+	return s.serverLoad[i].v.Load()
 }
 
 // HottestServer returns the server index with the highest publish load.
 func (s *Service) HottestServer() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	best, bestLoad := 0, int64(-1)
-	for i, l := range s.serverLoad {
-		if l > bestLoad {
+	for i := range s.serverLoad {
+		if l := s.serverLoad[i].v.Load(); l > bestLoad {
 			best, bestLoad = i, l
 		}
 	}
@@ -69,34 +66,29 @@ func (s *Service) HottestServer() int {
 // "one shard at a time" operation an operator (or an automation loop)
 // applies repeatedly.
 func (s *Service) RebalanceOne() (shard, from, to int, err error) {
-	s.mu.Lock()
+	rt := s.route.Load()
 	from, to = 0, -1
 	var fromLoad, toLoad int64 = -1, 1 << 62
 	for i := range s.serverLoad {
-		if s.serverLoad[i] > fromLoad {
-			from, fromLoad = i, s.serverLoad[i]
+		l := s.serverLoad[i].v.Load()
+		if l > fromLoad {
+			from, fromLoad = i, l
 		}
-		if s.serverUp[i] && s.serverLoad[i] < toLoad {
-			to, toLoad = i, s.serverLoad[i]
+		if rt.up[i] && l < toLoad {
+			to, toLoad = i, l
 		}
 	}
 	if to == -1 || from == to {
-		s.mu.Unlock()
 		return 0, from, to, fmt.Errorf("pylon: no rebalance target")
 	}
 	// Find a shard currently owned by `from`.
 	shard = -1
 	for sh := 0; sh < s.cfg.Shards; sh++ {
-		owner, ok := s.shardOverride[sh]
-		if !ok {
-			owner = sh % s.cfg.Servers
-		}
-		if owner == from {
+		if rt.serverFor(sh, s.cfg.Servers) == from {
 			shard = sh
 			break
 		}
 	}
-	s.mu.Unlock()
 	if shard == -1 {
 		return 0, from, to, fmt.Errorf("pylon: server %d owns no shards", from)
 	}

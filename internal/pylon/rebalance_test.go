@@ -91,9 +91,7 @@ func TestRebalanceOneMovesHotShard(t *testing.T) {
 	// New publishes to topics on the moved shard land on the new server.
 	// (The hotspot topic's shard may or may not be the moved one; assert
 	// via direct ownership instead.)
-	s.mu.Lock()
-	owner := s.serverForShardLocked(shard)
-	s.mu.Unlock()
+	owner := s.route.Load().serverFor(shard, s.cfg.Servers)
 	if owner != to {
 		t.Errorf("shard %d owner = %d, want %d", shard, owner, to)
 	}

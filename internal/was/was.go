@@ -232,24 +232,50 @@ func (s *Server) PrivacyCheck(viewer, author socialgraph.UserID) bool {
 // checks the event's author against the viewer, then resolves the payload
 // via the application's registered PayloadFunc — a TAO point query with
 // good caching characteristics.
+//
+// The two halves are exposed separately as CheckEventVisibility and
+// ResolvePayload so a BRASS host fanning one hot event out to many viewers
+// can run the mandatory per-viewer privacy check per stream while sharing a
+// single TAO read for the payload bytes.
 func (s *Server) FetchPayload(app string, viewer socialgraph.UserID, ev pylon.Event) ([]byte, error) {
-	s.PayloadFetches.Inc()
-	s.CPUMillis.Add(cpuPayload)
+	if err := s.CheckEventVisibility(viewer, ev); err != nil {
+		return nil, err
+	}
+	return s.ResolvePayload(app, ev)
+}
+
+// CheckEventVisibility runs the privacy check gating the release of ev's
+// payload to viewer: the event's author (when tagged in the metadata) is
+// checked against the viewer. It returns ErrDenied when the viewer must not
+// see the update. This must run once per viewer — payload bytes may be
+// shared, visibility decisions may not.
+func (s *Server) CheckEventVisibility(viewer socialgraph.UserID, ev pylon.Event) error {
 	if authorStr, ok := ev.Meta["author"]; ok {
 		var author socialgraph.UserID
 		if _, err := fmt.Sscanf(authorStr, "%d", &author); err == nil {
 			if !s.PrivacyCheck(viewer, author) {
-				return nil, fmt.Errorf("%w: viewer %d vs author %d", ErrDenied, viewer, author)
+				return fmt.Errorf("%w: viewer %d vs author %d", ErrDenied, viewer, author)
 			}
 		}
 	}
+	return nil
+}
+
+// ResolvePayload resolves an event's payload bytes via the application's
+// registered PayloadFunc — the TAO read half of FetchPayload, independent
+// of any viewer (the resolver runs in the system context). Callers must
+// have already passed CheckEventVisibility for each viewer the bytes are
+// released to.
+func (s *Server) ResolvePayload(app string, ev pylon.Event) ([]byte, error) {
+	s.PayloadFetches.Inc()
+	s.CPUMillis.Add(cpuPayload)
 	s.mu.Lock()
 	fn := s.payloads[app]
 	s.mu.Unlock()
 	if fn == nil {
 		return nil, fmt.Errorf("%w: payload for app %q", ErrUnknownField, app)
 	}
-	v, err := fn(s.ctx(viewer), tao.ObjID(ev.Ref), ev)
+	v, err := fn(s.ctx(0), tao.ObjID(ev.Ref), ev)
 	if err != nil {
 		return nil, err
 	}
