@@ -155,6 +155,11 @@ func BenchmarkHotTopicFanout(b *testing.B) { bench.HotTopicFanout(b) }
 
 func BenchmarkEndToEndCommentPush(b *testing.B) { bench.EndToEndCommentPush(b) }
 
+// BenchmarkEndToEndCommentPushHops is the same pipeline with the tracing
+// plane sampling every mutation: the per-hop latency breakdown (publish,
+// fan-out, payload fetch, push) is reported as custom <hop>-ns metrics.
+func BenchmarkEndToEndCommentPushHops(b *testing.B) { bench.EndToEndCommentPushHops(b) }
+
 func newBenchKV() *kvstore.Cluster { return bench.NewKV() }
 
 type benchSink struct{ n int }

@@ -22,6 +22,7 @@ import (
 
 	"bladerunner/internal/bench"
 	"bladerunner/internal/experiments"
+	"bladerunner/internal/trace"
 )
 
 // benchResult is one benchmark's record in the -bench-json report.
@@ -31,6 +32,9 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	N           int     `json:"n"`
+	// Hops is the per-hop latency breakdown for benchmarks that run with
+	// the tracing plane on (EndToEndCommentPushHops), keyed by hop name.
+	Hops map[string]trace.HopStat `json:"hops,omitempty"`
 }
 
 // benchBaseline holds the hot-path numbers recorded at commit 5cf3a5f —
@@ -54,19 +58,24 @@ type benchReport struct {
 // runBenchJSON runs the shared hot-path benchmark bodies (internal/bench —
 // the same code `go test -bench` runs) and writes the report to path.
 func runBenchJSON(path string) error {
+	plain := func(fn func(*testing.B)) func(*testing.B) map[string]trace.HopStat {
+		return func(b *testing.B) map[string]trace.HopStat { fn(b); return nil }
+	}
 	cases := []struct {
 		name string
-		fn   func(*testing.B)
+		fn   func(*testing.B) map[string]trace.HopStat
 	}{
-		{"PylonPublish", bench.PylonPublish},
-		{"HotTopicFanout", bench.HotTopicFanout},
-		{"BURSTFrameRoundTrip", bench.BURSTFrameRoundTrip},
-		{"EndToEndCommentPush", bench.EndToEndCommentPush},
+		{"PylonPublish", plain(bench.PylonPublish)},
+		{"HotTopicFanout", plain(bench.HotTopicFanout)},
+		{"BURSTFrameRoundTrip", plain(bench.BURSTFrameRoundTrip)},
+		{"EndToEndCommentPush", plain(bench.EndToEndCommentPush)},
+		{"EndToEndCommentPushHops", bench.EndToEndCommentPushHops},
 	}
 	results := make([]benchResult, 0, len(cases))
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", c.name)
-		r := testing.Benchmark(c.fn)
+		var hops map[string]trace.HopStat
+		r := testing.Benchmark(func(b *testing.B) { hops = c.fn(b) })
 		if r.N == 0 {
 			return fmt.Errorf("benchmark %s failed", c.name)
 		}
@@ -76,6 +85,7 @@ func runBenchJSON(path string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
+			Hops:        hops,
 		})
 		fmt.Printf("%-22s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
@@ -88,7 +98,7 @@ func runBenchJSON(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark results (ns/op, allocs/op) to this JSON file and exit")
@@ -114,6 +124,7 @@ func main() {
 		"switchover": func() experiments.Result { return experiments.Switchover(*seed) },
 		"storm":      func() experiments.Result { return experiments.ReconnectStorm(*seed) },
 		"hotfanout":  func() experiments.Result { return experiments.HotFanout(*seed) },
+		"tracehops":  func() experiments.Result { return experiments.TraceHops(*seed) },
 		"ablations":  nil, // expanded below
 	}
 

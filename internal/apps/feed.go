@@ -118,7 +118,7 @@ func (in *feedInstance) OnEvent(ev pylon.Event) {
 			st.Filtered()
 			continue
 		}
-		_ = st.PushPayload(ev.ID, payload)
+		_ = st.PushPayloadFor(ev, ev.ID, payload)
 	}
 }
 

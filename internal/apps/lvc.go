@@ -254,7 +254,7 @@ func (in *lvcInstance) flush(st *brass.Stream, state *lvcStream) {
 		if !ok {
 			return
 		}
-		ev := pylon.Event{Ref: item.Seq, Meta: item.Meta}
+		ev := pylon.Event{Ref: item.Seq, Meta: item.Meta, Trace: item.Trace}
 		payload, err := st.FetchPayload(ev)
 		if err != nil {
 			// Privacy denial or fetch failure: skip to next candidate.
@@ -264,7 +264,7 @@ func (in *lvcInstance) flush(st *brass.Stream, state *lvcStream) {
 		// Coalesce the comment payload and the limiter-state rewrite (the
 		// persisted cadence a replacement BRASS resumes from after
 		// failover, §3.5 "Resumption") into one batch frame.
-		_ = st.QueuePayload(item.Seq, payload)
+		_ = st.QueuePayloadFor(ev, item.Seq, payload)
 		_ = st.QueueRewriteHeaderField(brass.HdrRateLimiterState, state.limiter.HeaderState())
 		_ = st.Flush()
 		return
@@ -307,6 +307,7 @@ func (in *lvcInstance) OnEvent(ev pylon.Event) {
 			Time:  in.rt.Now(),
 			Seq:   ev.Ref,
 			Meta:  ev.Meta,
+			Trace: ev.Trace,
 		})
 	}
 }

@@ -281,7 +281,7 @@ func (in *messengerInstance) OnEvent(ev pylon.Event) {
 				st.Filtered()
 				continue
 			}
-			if st.PushPayload(ev.Seq, payload) == nil {
+			if st.PushPayloadFor(ev, ev.Seq, payload) == nil {
 				state.lastSeq = ev.Seq
 				_ = st.RewriteHeaderField(burst.HdrResumeSeq,
 					strconv.FormatUint(state.lastSeq, 10))

@@ -21,6 +21,7 @@ import (
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
+	"bladerunner/internal/trace"
 	"bladerunner/internal/was"
 )
 
@@ -124,13 +125,45 @@ func BURSTFrameRoundTrip(b *testing.B) {
 // mutation → TAO write → Pylon publish → BRASS filter+fetch → BURST push →
 // client receive.
 func EndToEndCommentPush(b *testing.B) {
+	endToEndCommentPush(b, nil)
+}
+
+// EndToEndCommentPushHops is EndToEndCommentPush with the tracing plane on
+// at rate 1: every op's hops are measured, and the per-hop latency
+// sub-histograms (publish, fan-out, payload fetch, push) are folded into a
+// Breakdown — with trace-ID exemplars — that cmd/brbench attaches to
+// BENCH_*.json. The hop means are also reported as custom benchmark
+// metrics, so `go test -bench EndToEndCommentPushHops` prints the
+// breakdown inline.
+func EndToEndCommentPushHops(b *testing.B) map[string]trace.HopStat {
+	// 1<<16 spans per process ring: enough that a typical benchtime keeps
+	// every hop of every op (the WAS collects three spans per op).
+	plane := trace.NewPlane(trace.Config{Rate: 1, Capacity: 1 << 16})
+	endToEndCommentPush(b, plane)
+	breakdown := trace.NewBreakdown()
+	breakdown.Record(plane.Gather())
+	stats := breakdown.Stats()
+	for hop, s := range stats {
+		b.ReportMetric(float64(s.Mean), hop+"-ns")
+	}
+	return stats
+}
+
+func endToEndCommentPush(b *testing.B, plane *trace.Plane) {
 	pyl := pylon.MustNew(pylon.DefaultConfig(), NewKV())
 	store := tao.MustNewStore(tao.DefaultConfig(), nil)
 	graph := socialgraph.MustGenerate(socialgraph.Config{Users: 100, MeanFriends: 5, Seed: 1})
 	w := was.New(store, graph, pyl, nil)
+	if plane != nil {
+		w.Sampler = plane.Sampler
+		w.Tracer = plane.Tracer("was")
+		pyl.Tracer = plane.Tracer("pylon")
+	}
 	suite := apps.NewSuite(w)
 
-	host := brass.NewHost(brass.HostConfig{ID: "bench-host", Region: "us"}, pyl, w, nil)
+	host := brass.NewHost(brass.HostConfig{
+		ID: "bench-host", Region: "us", Tracer: plane.Tracer("bench-host"),
+	}, pyl, w, nil)
 	defer host.Close()
 	suite.RegisterBRASS(host)
 

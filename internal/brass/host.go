@@ -16,6 +16,7 @@ import (
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/trace"
 	"bladerunner/internal/was"
 )
 
@@ -61,6 +62,9 @@ type HostConfig struct {
 	// PayloadCacheTTL bounds how long resolved payload bytes may be
 	// served without re-reading TAO. 0 takes DefaultPayloadCacheTTL.
 	PayloadCacheTTL time.Duration
+	// Tracer, when set, closes brass.deliver / brass.fetch / burst.flush
+	// spans for sampled events on this host. nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Host is one BRASS host: a multi-tenant machine running one instance per

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"bladerunner/internal/pylon"
+	"bladerunner/internal/trace"
 )
 
 // Application is one Bladerunner use case's BRASS implementation. Each of
@@ -170,12 +171,18 @@ func (inst *Instance) stop() {
 // candidate stream (Fig 8's "decisions on updates").
 func (inst *Instance) deliver(ev pylon.Event) {
 	inst.post(func() {
+		sp := inst.host.cfg.Tracer.Start(ev.Trace, trace.HopDeliver, trace.HopFanout)
+		defer sp.End()
+		sp.Annotate("host", inst.host.cfg.ID)
+		sp.Annotate("app", inst.app.Name())
 		if streams := inst.topicStreams[ev.Topic]; len(streams) > 0 {
 			inst.host.Decisions.Add(int64(len(streams)))
+			sp.AnnotateInt("streams", int64(len(streams)))
 		} else {
 			// Subscribed with no local streams (e.g. friend-status
 			// fan-in): still one decision by the app.
 			inst.host.Decisions.Inc()
+			sp.AnnotateInt("streams", 0)
 		}
 		inst.impl.OnEvent(ev)
 	})

@@ -5,6 +5,7 @@ import (
 
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/trace"
 )
 
 // Hot-event payload sharing (paper §3.2: metadata-only publish + fetch-back
@@ -37,18 +38,25 @@ const DefaultPayloadCacheTTL = 2 * time.Second
 // fetchPayload is the host-level payload fetch every stream routes through:
 // per-viewer privacy check, then cache → singleflight → WAS.
 func (h *Host) fetchPayload(app string, viewer socialgraph.UserID, ev pylon.Event) ([]byte, error) {
+	sp := h.cfg.Tracer.Start(ev.Trace, trace.HopFetch, trace.HopDeliver)
+	defer sp.End()
+	sp.Annotate("host", h.cfg.ID)
+	sp.Annotate("app", app)
 	h.WASFetches.Inc()
 	if h.payloadCache == nil {
+		sp.Annotate("cache", "disabled")
 		return h.was.FetchPayload(app, viewer, ev)
 	}
 	// The privacy check is mandatory per viewer; only the TAO read below
 	// is shared.
 	if err := h.was.CheckEventVisibility(viewer, ev); err != nil {
+		sp.Annotate("denied", "privacy")
 		return nil, err
 	}
 	key := payloadKey{app: app, id: ev.ID, ref: ev.Ref}
 	if b, ok := h.payloadCache.Get(key); ok {
 		h.PayloadCacheHits.Inc()
+		sp.Annotate("cache", "hit")
 		return b, nil
 	}
 	h.PayloadCacheMisses.Inc()
@@ -60,7 +68,12 @@ func (h *Host) fetchPayload(app string, viewer socialgraph.UserID, ev pylon.Even
 		return b, err
 	})
 	if joined {
+		// This caller waited on another stream's in-flight WAS read
+		// (singleflight) instead of issuing its own.
 		h.CoalescedFetches.Inc()
+		sp.Annotate("cache", "coalesced")
+	} else {
+		sp.Annotate("cache", "miss")
 	}
 	return b, err
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/trace"
 )
 
 // This file contains the small SDK of building blocks shared by BRASS
@@ -68,6 +69,10 @@ type RankedItem struct {
 	Payload []byte
 	// Meta carries whatever the app needs at delivery time.
 	Meta map[string]string
+	// Trace preserves the originating event's trace context across the
+	// buffer, so a rate-limited delivery still closes its spans against
+	// the mutation that produced it.
+	Trace trace.ID
 }
 
 // RankedBuffer keeps the top-K candidates by score, discarding entries

@@ -6,6 +6,7 @@ import (
 	"bladerunner/internal/burst"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/trace"
 )
 
 // Stream is one device request-stream as seen by application code. All
@@ -25,6 +26,11 @@ type Stream struct {
 	// State is free space for per-stream application state (ranked
 	// buffers, rate limiters, sequence cursors...). Loop-owned.
 	State any
+
+	// pendingTrace is the trace context of the most recent sampled delta
+	// queued via QueuePayloadFor, consumed by the next Flush to open its
+	// burst.flush span. Loop-owned, like the Queue/Flush pair itself.
+	pendingTrace trace.ID
 }
 
 // SID returns the BURST stream id.
@@ -55,7 +61,10 @@ func (st *Stream) Topics() []pylon.Topic {
 // Push sends payload deltas to the device as one atomic batch, counting a
 // delivery per delta.
 func (st *Stream) Push(deltas ...burst.Delta) error {
+	sp := st.startFlushSpan(firstTrace(deltas), len(deltas))
+	defer sp.End()
 	if err := st.burst.SendBatch(deltas...); err != nil {
+		sp.Annotate("error", "send-failed")
 		return err
 	}
 	n := 0
@@ -68,9 +77,44 @@ func (st *Stream) Push(deltas ...burst.Delta) error {
 	return nil
 }
 
+// startFlushSpan opens the burst.flush span covering the frame encode +
+// send of one traced batch (inactive when untraced or no tracer is set).
+func (st *Stream) startFlushSpan(id trace.ID, deltas int) trace.Span {
+	sp := st.inst.host.cfg.Tracer.Start(id, trace.HopFlush, trace.HopFetch)
+	if sp.Active() {
+		sp.Annotate("host", st.inst.host.cfg.ID)
+		sp.Annotate("stream", st.Header(burst.HdrTraceStream))
+		if deltas > 0 {
+			sp.AnnotateInt("deltas", int64(deltas))
+		}
+	}
+	return sp
+}
+
+// firstTrace returns the trace context of the first sampled delta in the
+// batch (a batch carries the deltas of one application decision, so one
+// trace context describes it).
+func firstTrace(deltas []burst.Delta) trace.ID {
+	for _, d := range deltas {
+		if d.Trace != 0 {
+			return d.Trace
+		}
+	}
+	return 0
+}
+
 // PushPayload is shorthand for Push of a single payload delta.
 func (st *Stream) PushPayload(seq uint64, payload []byte) error {
 	return st.Push(burst.PayloadDelta(seq, payload))
+}
+
+// PushPayloadFor is PushPayload carrying ev's trace context onto the wire,
+// so proxies and the device can attribute the delta to the originating
+// mutation. Apps pushing live events should prefer it over PushPayload.
+func (st *Stream) PushPayloadFor(ev pylon.Event, seq uint64, payload []byte) error {
+	d := burst.PayloadDelta(seq, payload)
+	d.Trace = ev.Trace
+	return st.Push(d)
 }
 
 // QueuePayload buffers a payload delta for the stream's next Flush without
@@ -79,6 +123,17 @@ func (st *Stream) PushPayload(seq uint64, payload []byte) error {
 // frame instead of one frame per delta. Loop-only, like Push.
 func (st *Stream) QueuePayload(seq uint64, payload []byte) error {
 	return st.burst.Queue(burst.PayloadDelta(seq, payload))
+}
+
+// QueuePayloadFor is QueuePayload carrying ev's trace context; the next
+// Flush closes its burst.flush span against that context. Loop-only.
+func (st *Stream) QueuePayloadFor(ev pylon.Event, seq uint64, payload []byte) error {
+	d := burst.PayloadDelta(seq, payload)
+	d.Trace = ev.Trace
+	if ev.Trace != 0 {
+		st.pendingTrace = ev.Trace
+	}
+	return st.burst.Queue(d)
 }
 
 // QueueRewriteHeaderField buffers a single-key header rewrite for the next
@@ -90,8 +145,12 @@ func (st *Stream) QueueRewriteHeaderField(key, value string) error {
 // Flush sends the queued deltas as one atomic batch, counting a delivery
 // per payload delta (the same accounting Push applies). Loop-only.
 func (st *Stream) Flush() error {
+	sp := st.startFlushSpan(st.pendingTrace, 0)
+	defer sp.End()
+	st.pendingTrace = 0
 	deltas, err := st.burst.Flush()
 	if err != nil {
+		sp.Annotate("error", "flush-failed")
 		return err
 	}
 	n := 0
@@ -101,6 +160,7 @@ func (st *Stream) Flush() error {
 		}
 	}
 	st.inst.host.Deliveries.Add(int64(n))
+	sp.AnnotateInt("flushed", int64(len(deltas)))
 	return nil
 }
 

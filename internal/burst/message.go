@@ -19,6 +19,8 @@ package burst
 import (
 	"encoding/json"
 	"fmt"
+
+	"bladerunner/internal/trace"
 )
 
 // StreamID identifies a request-stream within one session. IDs are chosen
@@ -50,6 +52,12 @@ const (
 	HdrResumeSeq = "resume-seq"
 	// HdrClientVersion expresses client capabilities to the BRASS.
 	HdrClientVersion = "client-version"
+	// HdrTraceStream is a stable stream identity stamped by the device at
+	// subscribe time. Rewrites and resubscriptions preserve it (rewrites
+	// patch individual keys; resubscribe replays the stored request), so
+	// spans recorded before and after a recovery join on the same value —
+	// the trace plane's view of "the same stream".
+	HdrTraceStream = "trace-stream"
 )
 
 // Clone returns a deep copy of the header.
@@ -198,6 +206,10 @@ type Delta struct {
 	Body []byte `json:"body,omitempty"`
 	// Reason describes a DeltaTermination.
 	Reason string `json:"reason,omitempty"`
+	// Trace is the trace context of the mutation that produced a payload
+	// delta (zero when unsampled). It rides the wire so proxies and the
+	// device can close their hop spans against the originating trace.
+	Trace trace.ID `json:"trace,omitempty"`
 }
 
 // PayloadDelta builds a payload delta.

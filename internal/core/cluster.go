@@ -13,6 +13,7 @@ import (
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
+	"bladerunner/internal/trace"
 	"bladerunner/internal/was"
 )
 
@@ -38,6 +39,11 @@ type Config struct {
 	Pylon pylon.Config
 	// StickyRouting enables BRASS sticky-routing rewrites.
 	StickyRouting bool
+	// Trace, when set, wires the end-to-end tracing plane through every
+	// tier: the WAS samples mutations and each component closes its hop
+	// spans into the plane's per-process collectors. nil (the default)
+	// leaves all tracers nil — the zero-overhead configuration.
+	Trace *trace.Plane
 }
 
 // DefaultConfig returns a small but fully wired deployment: 2 regions, 2
@@ -120,6 +126,11 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 	}
 
 	w := was.New(store, graph, pyl, sched)
+	if cfg.Trace != nil {
+		w.Sampler = cfg.Trace.Sampler
+		w.Tracer = cfg.Trace.Tracer("was")
+		pyl.Tracer = cfg.Trace.Tracer("pylon")
+	}
 	suite := apps.NewSuite(w)
 
 	c := &Cluster{
@@ -142,6 +153,7 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 			id := fmt.Sprintf("brass-%s-%d", region, i)
 			h := brass.NewHost(brass.HostConfig{
 				ID: id, Region: region, StickyRouting: cfg.StickyRouting,
+				Tracer: cfg.Trace.Tracer(id),
 			}, pyl, w, sched)
 			suite.RegisterBRASS(h)
 			c.Hosts = append(c.Hosts, h)
@@ -164,6 +176,7 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 				Fallback: edge.NewRoundRobinRouter(brassByRegion[region]...),
 			}
 			p := edge.NewProxy(id, c.Net, router)
+			p.Tracer = cfg.Trace.Tracer(id)
 			c.Proxies = append(c.Proxies, p)
 			proxyTargets = append(proxyTargets, id)
 			c.Net.Register(id, p.Accept)
@@ -174,6 +187,7 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 	for i := 0; i < cfg.POPs; i++ {
 		id := fmt.Sprintf("pop-%d", i)
 		p := edge.NewProxy(id, c.Net, edge.NewRoundRobinRouter(proxyTargets...))
+		p.Tracer = cfg.Trace.Tracer(id)
 		c.POPs = append(c.POPs, p)
 		c.popTargets = append(c.popTargets, id)
 		c.Net.Register(id, p.Accept)
@@ -198,8 +212,9 @@ func (c *Cluster) POPTargets() []string {
 // NewDevice builds a device for user wired to this cluster's POPs.
 func (c *Cluster) NewDevice(user socialgraph.UserID) *device.Device {
 	return device.New(device.Config{
-		User: user,
-		POPs: c.POPTargets(),
+		User:   user,
+		POPs:   c.POPTargets(),
+		Tracer: c.Cfg.Trace.Tracer(fmt.Sprintf("device-%d", user)),
 	}, c.Net, c.WAS, c.Sched)
 }
 
@@ -209,6 +224,9 @@ func (c *Cluster) NewDevice(user socialgraph.UserID) *device.Device {
 func (c *Cluster) NewDeviceVia(dialer edge.Dialer, cfg device.Config) *device.Device {
 	if len(cfg.POPs) == 0 {
 		cfg.POPs = c.POPTargets()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = c.Cfg.Trace.Tracer(fmt.Sprintf("device-%d", cfg.User))
 	}
 	return device.New(cfg, dialer, c.WAS, c.Sched)
 }

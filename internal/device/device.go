@@ -17,6 +17,7 @@ import (
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
+	"bladerunner/internal/trace"
 	"bladerunner/internal/was"
 )
 
@@ -44,6 +45,10 @@ type Config struct {
 	// MaxStreams caps concurrent request-streams (browser tabs allow up
 	// to 60, mobile apps up to 20 per the paper). 0 = unlimited.
 	MaxStreams int
+	// Tracer, when set, stamps a stable trace-stream identity header onto
+	// every subscription and closes a device.apply span per traced payload
+	// delta. nil disables tracing on this device.
+	Tracer *trace.Tracer
 }
 
 // Device is one simulated client.
@@ -213,18 +218,25 @@ func (d *Device) Subscribe(app, subscription string, extra burst.Header) (*Strea
 	cli := d.client
 	d.mu.Unlock()
 
+	d.mu.Lock()
+	d.nextSalt++
+	salt := d.nextSalt
+	d.mu.Unlock()
+
 	header := burst.Header{
 		burst.HdrApp:          app,
 		burst.HdrSubscription: subscription,
 		burst.HdrUser:         fmt.Sprintf("%d", d.cfg.User),
 	}
+	if d.cfg.Tracer != nil {
+		// Stable stream identity for the trace plane: rewrites patch other
+		// keys and resubscription replays the stored request, so this value
+		// survives every recovery path and joins pre/post-failure spans.
+		header[burst.HdrTraceStream] = fmt.Sprintf("u%d/%s#%d", d.cfg.User, app, salt)
+	}
 	for k, v := range extra {
 		header[k] = v
 	}
-	d.mu.Lock()
-	d.nextSalt++
-	salt := d.nextSalt
-	d.mu.Unlock()
 	st := &Stream{
 		dev:     d,
 		Updates: make(chan burst.Delta, 256),
@@ -386,7 +398,12 @@ func (st *Stream) pump(cs *burst.ClientStream) {
 		for _, delta := range batch {
 			switch delta.Type {
 			case burst.DeltaPayload:
+				sp := st.dev.cfg.Tracer.Start(delta.Trace, trace.HopApply, trace.HopFlush)
+				sp.AnnotateInt("seq", int64(delta.Seq))
 				st.mu.Lock()
+				if sp.Active() {
+					sp.Annotate("stream", st.req.Header[burst.HdrTraceStream])
+				}
 				if delta.Seq > st.seq {
 					st.seq = delta.Seq
 				}
@@ -395,9 +412,11 @@ func (st *Stream) pump(cs *burst.ClientStream) {
 					select {
 					case st.Updates <- delta:
 					default: // device is slow; best-effort drop
+						sp.Annotate("drop", "render-queue-full")
 					}
 				}
 				st.mu.Unlock()
+				sp.End()
 			case burst.DeltaFlowStatus:
 				st.dev.FlowEvents.Inc()
 				st.pushFlow(delta.Flow)

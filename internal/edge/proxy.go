@@ -7,6 +7,7 @@ import (
 
 	"bladerunner/internal/burst"
 	"bladerunner/internal/metrics"
+	"bladerunner/internal/trace"
 )
 
 // Proxy is a stream-level BURST relay. POPs and datacenter reverse proxies
@@ -35,6 +36,10 @@ type Proxy struct {
 	RepairFailures  metrics.Counter
 	RewritesRelayed metrics.Counter
 	DownstreamDrops metrics.Counter
+
+	// Tracer, when set, closes an edge.relay span per traced batch this
+	// proxy forwards. nil disables tracing on the relay path.
+	Tracer *trace.Tracer
 }
 
 type upstream struct {
@@ -249,9 +254,11 @@ func (r *relay) targetName() string {
 // termination/cancel.
 func (r *relay) pump(up *burst.ClientStream) (failed bool) {
 	for batch := range up.Events {
+		sp := r.startRelaySpan(batch)
 		forward := make([]burst.Delta, 0, len(batch))
 		sawFailure := false
 		terminated := false
+		rewrites := 0
 		for _, d := range batch {
 			switch d.Type {
 			case burst.DeltaFlowStatus:
@@ -270,6 +277,7 @@ func (r *relay) pump(up *burst.ClientStream) (failed bool) {
 				r.req = up.Request()
 				r.mu.Unlock()
 				r.p.RewritesRelayed.Inc()
+				rewrites++
 				forward = append(forward, d)
 			case burst.DeltaTermination:
 				terminated = true
@@ -278,15 +286,21 @@ func (r *relay) pump(up *burst.ClientStream) (failed bool) {
 				forward = append(forward, d)
 			}
 		}
+		if rewrites > 0 {
+			sp.AnnotateInt("rewrites", int64(rewrites))
+		}
 		if len(forward) > 0 {
 			if err := r.down.SendBatch(forward...); err != nil {
 				// Downstream is gone: cancel upstream and stop.
+				sp.Annotate("drop", "downstream-lost")
+				sp.End()
 				if r.setDone() {
 					_ = up.Cancel("downstream lost")
 				}
 				return false
 			}
 		}
+		sp.End()
 		if terminated {
 			r.setDone()
 			return false
@@ -297,6 +311,35 @@ func (r *relay) pump(up *burst.ClientStream) (failed bool) {
 		}
 	}
 	return !r.isDone()
+}
+
+// startRelaySpan opens the edge.relay span for one forwarded batch,
+// keying on the first traced delta (inactive when the batch carries no
+// trace context or the proxy has no tracer).
+func (r *relay) startRelaySpan(batch []burst.Delta) trace.Span {
+	tr := r.p.Tracer
+	if tr == nil {
+		return trace.Span{}
+	}
+	var id trace.ID
+	for _, d := range batch {
+		if d.Trace != 0 {
+			id = d.Trace
+			break
+		}
+	}
+	sp := tr.Start(id, trace.HopRelay, trace.HopFlush)
+	if sp.Active() {
+		r.mu.Lock()
+		stream := r.req.Header[burst.HdrTraceStream]
+		target := r.target
+		r.mu.Unlock()
+		sp.Annotate("proxy", r.p.name)
+		sp.Annotate("upstream", target)
+		sp.Annotate("stream", stream)
+		sp.AnnotateInt("deltas", int64(len(batch)))
+	}
+	return sp
 }
 
 // repair re-routes and re-subscribes the stream using the stored request,

@@ -101,5 +101,6 @@ func All(seed int64) []Result {
 		Switchover(seed),
 		ReconnectStorm(seed),
 		HotFanout(seed),
+		TraceHops(seed),
 	}
 }

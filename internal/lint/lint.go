@@ -16,6 +16,9 @@
 //     and unbounded loops inside them need a shutdown path.
 //   - unchecked-unsubscribe: error results from the Pylon/BRASS/BURST
 //     public surfaces must not be silently discarded.
+//   - span-must-end: a span opened with trace.Tracer.Start must reach
+//     Span.End on every return path, or the hop silently disappears from
+//     assembled traces.
 //
 // Diagnostics are suppressed with an inline escape hatch:
 //
@@ -163,6 +166,7 @@ func DefaultRules(modPath string) []Rule {
 		&MutexByValue{},
 		&GoroutineHygiene{},
 		&UncheckedUnsubscribe{ModPath: modPath},
+		&SpanMustEnd{ModPath: modPath},
 	}
 }
 

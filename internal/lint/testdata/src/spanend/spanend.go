@@ -1,0 +1,85 @@
+// Package spanend is a brlint fixture for the span-must-end rule: spans
+// started with trace.Tracer.Start must reach Span.End on every return path.
+// Ended spans, deferred Ends, and spans that escape (returned, passed on,
+// assigned onward, or captured by a closure) must pass.
+package spanend
+
+import "bladerunner/internal/trace"
+
+type Host struct {
+	tr *trace.Tracer
+}
+
+func (h *Host) LeakOnFallOff(id trace.ID) {
+	sp := h.tr.Start(id, trace.HopFetch, trace.HopDeliver) // want `span-must-end: span sp started here does not reach End`
+	sp.Annotate("cache", "miss")
+}
+
+func (h *Host) LeakOnEarlyReturn(id trace.ID, fail bool) error {
+	sp := h.tr.Start(id, trace.HopFlush, trace.HopFetch) // want `span-must-end: span sp started here does not reach End`
+	if fail {
+		return errEarly
+	}
+	sp.End()
+	return nil
+}
+
+func (h *Host) EndedIsFine(id trace.ID) {
+	sp := h.tr.Start(id, trace.HopPublish, "")
+	sp.Annotate("topic", "/LVC/1")
+	sp.End()
+}
+
+func (h *Host) DeferredEndIsFine(id trace.ID, fail bool) error {
+	sp := h.tr.Start(id, trace.HopDeliver, trace.HopFanout)
+	defer sp.End()
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+func (h *Host) EndOnEachBranch(id trace.ID, hit bool) {
+	sp := h.tr.Start(id, trace.HopFetch, trace.HopDeliver)
+	if hit {
+		sp.Annotate("cache", "hit")
+		sp.End()
+		return
+	}
+	sp.Annotate("cache", "miss")
+	sp.End()
+}
+
+// ReturnedSpanEscapes: the caller takes over responsibility for ending it.
+func (h *Host) ReturnedSpanEscapes(id trace.ID) trace.Span {
+	sp := h.tr.Start(id, trace.HopRelay, trace.HopFlush)
+	return sp
+}
+
+// PassedSpanEscapes: handing the span to another function releases it here.
+func (h *Host) PassedSpanEscapes(id trace.ID) {
+	sp := h.tr.Start(id, trace.HopApply, trace.HopFlush)
+	finish(&sp)
+}
+
+// CapturedSpanEscapes: the closure owns the End now (the WAS publish path
+// ends its root span inside the scheduled emit closure).
+func (h *Host) CapturedSpanEscapes(id trace.ID, after func(func())) {
+	sp := h.tr.Start(id, trace.HopPublish, "")
+	after(func() { sp.End() })
+}
+
+// AllowedLeak: the suppression escape hatch absorbs the diagnostic.
+func (h *Host) AllowedLeak(id trace.ID) {
+	//brlint:allow(span-must-end) fixture: span intentionally kept open past return
+	sp := h.tr.Start(id, trace.HopFanout, trace.HopPublish)
+	sp.Annotate("topic", "/LVC/2")
+}
+
+func finish(sp *trace.Span) { sp.End() }
+
+var errEarly = errorString("early")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -35,6 +35,20 @@ type Histogram struct {
 	cap       int
 	rng       *rand.Rand
 	sorted    bool
+	// exemplars is a small ring of recent (value, trace ID) pairs recorded
+	// via ObserveExemplar, linking histogram tails back to concrete traces.
+	exemplars []Exemplar
+	exNext    int
+}
+
+// ExemplarCap bounds the exemplar ring of each histogram: enough to chase
+// a handful of recent outliers without growing the struct meaningfully.
+const ExemplarCap = 8
+
+// Exemplar is one observation tagged with the trace that produced it.
+type Exemplar struct {
+	Value   time.Duration
+	TraceID uint64
 }
 
 // NewHistogram returns a Histogram with the default reservoir size.
@@ -74,6 +88,32 @@ func (h *Histogram) Observe(d time.Duration) {
 		h.reservoir[j] = d
 		h.sorted = false
 	}
+}
+
+// ObserveExemplar records one duration and, when traceID is nonzero,
+// remembers (d, traceID) in the bounded exemplar ring. With a zero traceID
+// it is exactly Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	h.Observe(d)
+	if traceID == 0 {
+		return
+	}
+	h.mu.Lock()
+	if len(h.exemplars) < ExemplarCap {
+		h.exemplars = append(h.exemplars, Exemplar{Value: d, TraceID: traceID})
+	} else {
+		h.exemplars[h.exNext] = Exemplar{Value: d, TraceID: traceID}
+	}
+	h.exNext = (h.exNext + 1) % ExemplarCap
+	h.mu.Unlock()
+}
+
+// Exemplars returns a copy of the recorded exemplars (most recent last for
+// an unwrapped ring; order is unspecified once the ring has wrapped).
+func (h *Histogram) Exemplars() []Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Exemplar(nil), h.exemplars...)
 }
 
 // Count returns the number of observations.

@@ -40,6 +40,7 @@ import (
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/sim"
+	"bladerunner/internal/trace"
 )
 
 // Topic names an area of interest in the social graph, structured like a
@@ -66,6 +67,9 @@ type Event struct {
 	Meta map[string]string
 	// Published is the publish timestamp.
 	Published time.Time
+	// Trace is the sampled trace context stamped by the WAS (zero when the
+	// mutation was not sampled). Pylon and BRASS propagate it unchanged.
+	Trace trace.ID
 }
 
 // Subscriber is the delivery endpoint for one BRASS host. Deliver must not
@@ -205,6 +209,10 @@ type Service struct {
 	SubCacheMiss  metrics.Counter // cold or TTL-expired lookups
 	SubCacheStale metrics.Counter // entries invalidated by a version bump
 	FanoutSize    *metrics.CountHistogram
+
+	// Tracer, when set, closes a pylon.fanout span around each sampled
+	// publish. nil (the default) keeps the publish path allocation-free.
+	Tracer *trace.Tracer
 }
 
 // New builds a Pylon service over the given subscription KV cluster.
@@ -434,6 +442,11 @@ func (s *Service) Publish(ev Event) (int, error) {
 
 	s.Publishes.Inc()
 
+	// Inactive (and free) unless the event is sampled and a tracer is set.
+	sp := s.Tracer.Start(ev.Trace, trace.HopFanout, trace.HopPublish)
+	sp.Annotate("topic", string(ev.Topic))
+	sp.AnnotateInt("shard", int64(shard))
+
 	// The delivery snapshot is taken once per fan-out; deliverTo on the
 	// hot path is then a plain map lookup.
 	hosts := *s.hosts.Load()
@@ -454,11 +467,16 @@ func (s *Service) Publish(ev Event) (int, error) {
 					}
 				}
 				s.finishFanout(n)
+				sp.Annotate("cache", "hit")
+				sp.AnnotateInt("fanout", int64(n))
+				sp.End()
 				return n, nil
 			}
 			s.SubCacheStale.Inc()
+			sp.Annotate("cache", "stale")
 		} else {
 			s.SubCacheMiss.Inc()
+			sp.Annotate("cache", "miss")
 		}
 	}
 
@@ -483,6 +501,8 @@ func (s *Service) Publish(ev Event) (int, error) {
 		// All replicas down: the event is dropped (best effort); the
 		// affected BRASSes detect quorum loss separately.
 		s.DroppedNoSub.Inc()
+		sp.Annotate("drop", "all-replicas-down")
+		sp.End()
 		return 0, fmt.Errorf("pylon: publish %q: all subscription replicas down", ev.Topic)
 	}
 
@@ -531,6 +551,8 @@ func (s *Service) Publish(ev Event) (int, error) {
 
 	n := len(sent)
 	s.finishFanout(n)
+	sp.AnnotateInt("fanout", int64(n))
+	sp.End()
 	return n, nil
 }
 

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (chrome://tracing, Perfetto). "X" events are complete spans with a
+// microsecond timestamp and duration; "M" events name the processes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits spans as Chrome trace_event JSON. Each collecting
+// process becomes a pid (named via metadata events); each trace becomes a
+// tid, so one mutation's hops line up as one row per process in the
+// viewer. Timestamps are microseconds relative to the earliest span.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	procs := make(map[string]int)
+	var procNames []string
+	for _, d := range spans {
+		if _, ok := procs[d.Proc]; !ok {
+			procs[d.Proc] = 0
+			procNames = append(procNames, d.Proc)
+		}
+	}
+	sort.Strings(procNames)
+	for i, name := range procNames {
+		procs[name] = i + 1
+	}
+
+	tids := make(map[ID]int)
+	var epoch time.Time
+	for i, d := range spans {
+		if i == 0 || d.Start.Before(epoch) {
+			epoch = d.Start
+		}
+		if _, ok := tids[d.Trace]; !ok {
+			tids[d.Trace] = len(tids) + 1
+		}
+	}
+
+	var f chromeFile
+	f.DisplayTimeUnit = "ms"
+	for name, pid := range procs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	sort.Slice(f.TraceEvents, func(i, j int) bool { return f.TraceEvents[i].Pid < f.TraceEvents[j].Pid })
+
+	for _, d := range spans {
+		args := map[string]any{"trace": fmt.Sprintf("%016x", uint64(d.Trace))}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: d.Hop,
+			Cat:  "bladerunner",
+			Ph:   "X",
+			Ts:   float64(d.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(d.End.Sub(d.Start)) / float64(time.Microsecond),
+			Pid:  procs[d.Proc],
+			Tid:  tids[d.Trace],
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}

@@ -18,6 +18,7 @@ import (
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
+	"bladerunner/internal/trace"
 )
 
 // Errors returned by the executor.
@@ -61,6 +62,14 @@ type Server struct {
 	// before publishing rankable updates (Table 3: 1,790 ms of the LVC
 	// 2,000 ms update→publish time is ranking). Nil disables the delay.
 	RankDelay sim.Dist
+
+	// Sampler stamps trace contexts onto mutations at publish time; nil
+	// disables sampling. The WAS is where traces are born — every later
+	// hop only propagates the ID the sampler issued here.
+	Sampler *trace.Sampler
+	// Tracer closes the root was.publish span plus the per-fetch
+	// was.privacy / was.resolve spans. nil disables span collection.
+	Tracer *trace.Tracer
 
 	mu            sync.Mutex
 	queries       map[string]QueryFunc
@@ -250,10 +259,14 @@ func (s *Server) FetchPayload(app string, viewer socialgraph.UserID, ev pylon.Ev
 // see the update. This must run once per viewer — payload bytes may be
 // shared, visibility decisions may not.
 func (s *Server) CheckEventVisibility(viewer socialgraph.UserID, ev pylon.Event) error {
+	sp := s.Tracer.Start(ev.Trace, trace.HopPrivacy, trace.HopFetch)
+	defer sp.End()
+	sp.AnnotateInt("viewer", int64(viewer))
 	if authorStr, ok := ev.Meta["author"]; ok {
 		var author socialgraph.UserID
 		if _, err := fmt.Sscanf(authorStr, "%d", &author); err == nil {
 			if !s.PrivacyCheck(viewer, author) {
+				sp.Annotate("denied", "blocked")
 				return fmt.Errorf("%w: viewer %d vs author %d", ErrDenied, viewer, author)
 			}
 		}
@@ -267,6 +280,9 @@ func (s *Server) CheckEventVisibility(viewer socialgraph.UserID, ev pylon.Event)
 // have already passed CheckEventVisibility for each viewer the bytes are
 // released to.
 func (s *Server) ResolvePayload(app string, ev pylon.Event) ([]byte, error) {
+	sp := s.Tracer.Start(ev.Trace, trace.HopResolve, trace.HopFetch)
+	defer sp.End()
+	sp.Annotate("app", app)
 	s.PayloadFetches.Inc()
 	s.CPUMillis.Add(cpuPayload)
 	s.mu.Lock()
@@ -288,6 +304,17 @@ func (s *Server) ResolvePayload(app string, ev pylon.Event) ([]byte, error) {
 // recorded either way.
 func (s *Server) Publish(ev pylon.Event, rank bool) {
 	start := s.Sched.Now()
+	if ev.Trace == 0 {
+		ev.Trace = s.Sampler.Trace()
+	}
+	// Root span: mutation commit (Publish call) until the event is handed
+	// to Pylon, including any ranking hold. Ends inside emit, so the
+	// ranked path's scheduler hop stays inside the span.
+	sp := s.Tracer.Start(ev.Trace, trace.HopPublish, "")
+	sp.Annotate("topic", string(ev.Topic))
+	if rank && s.RankDelay != nil {
+		sp.Annotate("ranked", "true")
+	}
 	emit := func() {
 		ev.Published = s.Sched.Now()
 		if s.Pylon != nil {
@@ -295,6 +322,7 @@ func (s *Server) Publish(ev pylon.Event, rank bool) {
 		}
 		s.PublishesEmitted.Inc()
 		s.PublishLatency.Observe(s.Sched.Now().Sub(start))
+		sp.End()
 	}
 	if rank && s.RankDelay != nil {
 		s.mu.Lock()
