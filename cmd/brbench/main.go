@@ -53,11 +53,19 @@ var benchBaseline = []benchResult{
 type benchReport struct {
 	Before []benchResult `json:"before"` // pre-fast-path baseline (commit 5cf3a5f)
 	After  []benchResult `json:"after"`  // this build
+	// Overload is the OverloadStorm experiment table (bounded p99 under a
+	// hot-topic storm: unbounded vs shed vs shed+admission), recorded so
+	// the report carries the overload-plane evidence alongside the
+	// hot-path numbers. The hot-path benches above run with admission
+	// ENABLED at a non-shedding rate — the 0 allocs/op gate covers the
+	// plane's per-publish cost.
+	Overload []experiments.Row `json:"overload,omitempty"`
 }
 
 // runBenchJSON runs the shared hot-path benchmark bodies (internal/bench —
-// the same code `go test -bench` runs) and writes the report to path.
-func runBenchJSON(path string) error {
+// the same code `go test -bench` runs) plus the OverloadStorm experiment,
+// and writes the report to path.
+func runBenchJSON(path string, seed int64) error {
 	plain := func(fn func(*testing.B)) func(*testing.B) map[string]trace.HopStat {
 		return func(b *testing.B) map[string]trace.HopStat { fn(b); return nil }
 	}
@@ -90,7 +98,12 @@ func runBenchJSON(path string) error {
 		fmt.Printf("%-22s %12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
 	}
-	out, err := json.MarshalIndent(benchReport{Before: benchBaseline, After: results}, "", "  ")
+	fmt.Fprintln(os.Stderr, "experiment overload...")
+	storm := experiments.OverloadStorm(seed)
+	fmt.Println(storm)
+	out, err := json.MarshalIndent(benchReport{
+		Before: benchBaseline, After: results, Overload: storm.Rows,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -98,14 +111,14 @@ func runBenchJSON(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark results (ns/op, allocs/op) to this JSON file and exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		if err := runBenchJSON(*benchJSON, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "brbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -125,6 +138,7 @@ func main() {
 		"storm":      func() experiments.Result { return experiments.ReconnectStorm(*seed) },
 		"hotfanout":  func() experiments.Result { return experiments.HotFanout(*seed) },
 		"tracehops":  func() experiments.Result { return experiments.TraceHops(*seed) },
+		"overload":   func() experiments.Result { return experiments.OverloadStorm(*seed) },
 		"ablations":  nil, // expanded below
 	}
 

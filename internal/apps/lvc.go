@@ -221,7 +221,7 @@ func (in *lvcInstance) OnStreamOpen(st *brass.Stream) error {
 		limiter: brass.RateLimiter{Interval: in.app.RateLimit},
 		lang:    st.Header(HdrLang),
 	}
-	state.limiter.RestoreHeaderState(st.Header(brass.HdrRateLimiterState))
+	state.limiter.RestoreHeaderState(st.Header(brass.HdrRateLimiterState), in.rt.Now())
 	st.State = state
 	for _, t := range topics {
 		if err := st.AddTopic(t); err != nil {

@@ -45,10 +45,21 @@ func (s *Sink) ID() string            { return s.id }
 func (s *Sink) Deliver(_ pylon.Event) { s.n++ }
 func (s *Sink) Count() int            { return s.n }
 
+// benchAdmission returns a pylon config with publish admission ENABLED at
+// a rate no benchmark can exhaust. The zero-alloc gates on the hot paths
+// run with the overload plane on: the token-bucket refill on every publish
+// must cost nothing, or the plane is not free when idle.
+func benchAdmission(cfg pylon.Config) pylon.Config {
+	cfg.AdmitRate = 1e7
+	cfg.AdmitBurst = 1e6
+	cfg.AdmitSeed = 1
+	return cfg
+}
+
 // PylonPublish measures one publish to a single-subscriber topic — the
-// per-event floor of the fan-out path.
+// per-event floor of the fan-out path — with admission control enabled.
 func PylonPublish(b *testing.B) {
-	pyl := pylon.MustNew(pylon.DefaultConfig(), NewKV())
+	pyl := pylon.MustNew(benchAdmission(pylon.DefaultConfig()), NewKV())
 	sink := NewSink("sink")
 	pyl.RegisterHost(sink)
 	if err := pyl.Subscribe("/bench", "sink"); err != nil {
@@ -66,9 +77,10 @@ func PylonPublish(b *testing.B) {
 // HotTopicFanout measures one publish to a topic with 1000 subscribed
 // hosts — the paper's hot-event shape (§3.2) and the case the subscriber
 // cache exists for: repeat publishes must not re-read the replicated
-// subscription store per event.
+// subscription store per event. Admission control is enabled (at a
+// non-shedding rate) so the alloc gate covers the plane.
 func HotTopicFanout(b *testing.B) {
-	HotTopicFanoutConfig(b, pylon.DefaultConfig())
+	HotTopicFanoutConfig(b, benchAdmission(pylon.DefaultConfig()))
 }
 
 // HotTopicFanoutConfig is HotTopicFanout with a caller-supplied Pylon

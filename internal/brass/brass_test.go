@@ -354,7 +354,7 @@ func TestRateLimiterHeaderRoundTrip(t *testing.T) {
 	r.Allow(t1)
 	state := r.HeaderState()
 	r2 := RateLimiter{Interval: 2 * time.Second}
-	r2.RestoreHeaderState(state)
+	r2.RestoreHeaderState(state, t1)
 	if r2.Allow(t1.Add(time.Second)) {
 		t.Error("restored limiter forgot its last delivery")
 	}
@@ -363,9 +363,55 @@ func TestRateLimiterHeaderRoundTrip(t *testing.T) {
 	}
 	// Garbage state is ignored.
 	r3 := RateLimiter{Interval: time.Second}
-	r3.RestoreHeaderState("garbage")
+	r3.RestoreHeaderState("garbage", t1)
 	if !r3.Allow(t1) {
 		t.Error("garbage state blocked limiter")
+	}
+}
+
+// TestRateLimiterRestoreClampsFutureHeader is the regression test for the
+// stream-stall bug: a failed BRASS could persist a `last` timestamp far in
+// the future (skewed clock, corrupt header), and the replacement host
+// restored it verbatim — silencing the stream until that wall time.
+// Restore must clamp to now so the next delivery is at most one Interval
+// away.
+func TestRateLimiterRestoreClampsFutureHeader(t *testing.T) {
+	t1 := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	skewed := RateLimiter{Interval: 2 * time.Second}
+	skewed.Allow(t1.Add(365 * 24 * time.Hour)) // "last delivery" a year ahead
+	header := skewed.HeaderState()
+
+	r := RateLimiter{Interval: 2 * time.Second}
+	r.RestoreHeaderState(header, t1)
+	if r.Allow(t1.Add(time.Second)) {
+		t.Error("clamped restore must still enforce the interval from now")
+	}
+	if !r.Allow(t1.Add(2 * time.Second)) {
+		t.Error("stream stalled: future-dated header state was not clamped to now")
+	}
+}
+
+// TestRateLimiterClockRetreat is the regression test for the second stall
+// mode: after a restore (or a virtual-clock reset) `now` can precede the
+// stored `last`. With a large Interval the old code returned false until
+// the original timeline caught up — effectively forever.
+func TestRateLimiterClockRetreat(t *testing.T) {
+	t1 := time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+	r := RateLimiter{Interval: time.Hour}
+	if !r.Allow(t1) {
+		t.Fatal("first Allow denied")
+	}
+	// The clock retreats two days: far more than one Interval back.
+	back := t1.Add(-48 * time.Hour)
+	if !r.Allow(back) {
+		t.Error("limiter stalled after clock retreat beyond one Interval")
+	}
+	// Within one Interval of the (re-anchored) last, normal pacing holds.
+	if r.Allow(back.Add(30 * time.Minute)) {
+		t.Error("re-anchored limiter must still pace deliveries")
+	}
+	if !r.Allow(back.Add(time.Hour)) {
+		t.Error("re-anchored limiter denied at interval boundary")
 	}
 }
 

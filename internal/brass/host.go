@@ -13,6 +13,7 @@ import (
 	"bladerunner/internal/cache"
 	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
+	"bladerunner/internal/overload"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
@@ -65,6 +66,27 @@ type HostConfig struct {
 	// Tracer, when set, closes brass.deliver / brass.fetch / burst.flush
 	// spans for sampled events on this host. nil disables tracing.
 	Tracer *trace.Tracer
+	// LoopQueueDepth bounds each instance's event-loop queue: a saturated
+	// loop sheds its oldest Data-class task (event deliveries) and signals
+	// FlowDegraded to the instance's streams. 0 takes the default
+	// (taskBuffer); negative means unbounded (no shedding).
+	LoopQueueDepth int
+	// DeliverRate, when > 0, enables token-bucket admission control on
+	// Pylon→host delivery: events arriving faster than DeliverRate per
+	// second (above a burst of DeliverBurst, default DeliverRate) are shed
+	// before any instance work happens. Sheds are counted on the host
+	// admission controller and annotated on the event's trace.
+	DeliverRate float64
+	// DeliverBurst is the host admission bucket depth (0 = DeliverRate).
+	DeliverBurst float64
+	// StreamDeliverRate, when > 0, enables a per-stream delivery token
+	// bucket: payload batches Pushed faster than this are shed (control
+	// deltas always pass), with FlowDegraded/FlowRecovered emitted on the
+	// transitions and the bucket state persisted into the stream header so
+	// a failover replacement stream resumes the same admission state.
+	StreamDeliverRate float64
+	// StreamDeliverBurst is the per-stream bucket depth (0 = rate).
+	StreamDeliverBurst float64
 }
 
 // Host is one BRASS host: a multi-tenant machine running one instance per
@@ -99,6 +121,11 @@ type Host struct {
 	payloadCache  *cache.LRU[payloadKey, []byte]
 	payloadFlight cache.Group[payloadKey, []byte]
 
+	// Admit is the host-level delivery admission controller (nil when
+	// DeliverRate is unset — the nil receiver admits everything for free).
+	// Its Admitted/Shed counters are exported for tests and experiments.
+	Admit *overload.Admission
+
 	// Metrics (exported so experiments and tests can assert on them).
 	Decisions          metrics.Counter
 	Deliveries         metrics.Counter
@@ -115,6 +142,8 @@ type Host struct {
 	PayloadCacheHits   metrics.Counter // fetches served from the payload cache
 	PayloadCacheMisses metrics.Counter // fetches that had to resolve via the WAS
 	CoalescedFetches   metrics.Counter // fetches that shared another caller's WAS read
+	FlowSignals        metrics.Counter // FlowDegraded/FlowRecovered control deltas emitted
+	StreamSheds        metrics.Counter // payload deltas shed by per-stream admission
 }
 
 // subRetry is one topic's background re-subscription state.
@@ -162,6 +191,16 @@ func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Sc
 		// Seeded off the host identity so a fleet decorrelates its TTL
 		// refreshes deterministically.
 		h.payloadCache = cache.NewLRU[payloadKey, []byte](size, ttl, 0.25, sched, seed)
+	}
+	if cfg.DeliverRate > 0 {
+		dburst := cfg.DeliverBurst
+		if dburst == 0 {
+			dburst = cfg.DeliverRate
+		}
+		// Seeded off the host identity: a fleet's admission buckets start
+		// at decorrelated fill levels, so a synchronized storm does not
+		// trip every host's shed at the same instant.
+		h.Admit = overload.NewAdmission(cfg.DeliverRate, dburst, sched, seed)
 	}
 	if pyl != nil {
 		pyl.RegisterHost(h)
@@ -251,8 +290,16 @@ func (h *Host) RunningInstances() int {
 }
 
 // Deliver implements pylon.Subscriber: the host's subscription manager fans
-// the event out to every local instance interested in the topic.
+// the event out to every local instance interested in the topic. Host
+// admission runs first: an over-rate event is shed here, before any
+// instance queueing or app work (the nil check is free when disabled).
 func (h *Host) Deliver(ev pylon.Event) {
+	if !h.Admit.Allow() {
+		sp := h.cfg.Tracer.Start(ev.Trace, trace.HopDeliver, trace.HopFanout)
+		sp.Drop("host-admission")
+		sp.End()
+		return
+	}
 	h.mu.Lock()
 	set := h.topicHostRefs[ev.Topic]
 	instances := make([]*Instance, 0, len(set))
@@ -478,6 +525,18 @@ func (hh hostSessionHandler) OnSubscribe(bst *burst.ServerStream, sub burst.Subs
 		}
 	}
 	bst.State = st
+	if h.cfg.StreamDeliverRate > 0 {
+		rate := h.cfg.StreamDeliverRate
+		dburst := h.cfg.StreamDeliverBurst
+		if dburst == 0 {
+			dburst = rate
+		}
+		st.admit = overload.TokenBucket{Rate: rate, Burst: dburst}
+		// A failover replacement stream carries the old stream's bucket in
+		// its rewritten header; restoring (clamped to now) keeps a device
+		// from doubling its delivery rate by bouncing between hosts.
+		st.admit.RestoreHeaderState(sub.Header[HdrAdmissionState], h.sched.Now())
+	}
 	// Sticky routing: pin this host into the reconnect state immediately
 	// (paper §3.5). Proxies snooping the batch update their copy too.
 	if h.cfg.StickyRouting {

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"time"
 
+	"bladerunner/internal/burst"
+	"bladerunner/internal/overload"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/trace"
 )
@@ -63,7 +65,7 @@ type Instance struct {
 	rt   *Runtime
 	impl AppInstance
 
-	tasks chan func()
+	tasks *overload.Queue[func()]
 	quit  chan struct{}
 	done  chan struct{}
 
@@ -71,26 +73,43 @@ type Instance struct {
 	topicStreams map[pylon.Topic]map[*Stream]bool
 	streams      map[*Stream]bool
 
+	// flowStreams mirrors the loop-owned streams set for the degraded-mode
+	// signaler, which runs on whatever goroutine tripped the queue
+	// transition and therefore cannot read the loop-owned map.
+	flowMu      sync.Mutex
+	flowStreams map[*Stream]bool
+
 	mu      sync.Mutex
 	stopped bool
 }
 
-// taskBuffer bounds the pending work per instance. Pylon delivery is
-// best-effort: if an instance's loop is saturated, events are dropped and
-// counted (the paper's "drop messages intelligently" happens in app logic;
-// this is the backstop).
+// taskBuffer bounds the pending work per instance by default
+// (HostConfig.LoopQueueDepth overrides). Pylon delivery is best-effort: a
+// saturated loop sheds the OLDEST delivery task and counts it, while
+// stream-lifecycle work (open/close/ack) rides the Control class and is
+// never shed — the paper's "drop messages intelligently" happens in app
+// logic; this bounded queue is the backstop.
 const taskBuffer = 4096
 
 func newInstance(h *Host, app Application) *Instance {
+	depth := h.cfg.LoopQueueDepth
+	if depth == 0 {
+		depth = taskBuffer
+	} else if depth < 0 {
+		depth = 0 // explicit "unbounded"
+	}
 	inst := &Instance{
 		host:         h,
 		app:          app,
-		tasks:        make(chan func(), taskBuffer),
+		tasks:        overload.NewQueue[func()](depth),
 		quit:         make(chan struct{}),
 		done:         make(chan struct{}),
 		topicStreams: make(map[pylon.Topic]map[*Stream]bool),
 		streams:      make(map[*Stream]bool),
+		flowStreams:  make(map[*Stream]bool),
 	}
+	inst.tasks.OnDegraded = func() { inst.signalFlow(burst.FlowDegraded) }
+	inst.tasks.OnRecovered = func() { inst.signalFlow(burst.FlowRecovered) }
 	inst.rt = &Runtime{host: h, inst: inst}
 	inst.impl = app.NewInstance(inst.rt)
 	go inst.loop()
@@ -101,39 +120,72 @@ func (inst *Instance) loop() {
 	defer close(inst.done)
 	for {
 		select {
-		case fn := <-inst.tasks:
-			fn()
+		case <-inst.tasks.Ready():
+			for {
+				fn, _, ok := inst.tasks.Pop()
+				if !ok {
+					break
+				}
+				fn()
+			}
 		case <-inst.quit:
 			// Drain remaining tasks before exiting so shutdown is
 			// not racy with queued work.
 			for {
-				select {
-				case fn := <-inst.tasks:
-					fn()
-				default:
+				fn, _, ok := inst.tasks.Pop()
+				if !ok {
 					return
 				}
+				fn()
 			}
 		}
 	}
 }
 
-// post enqueues fn onto the event loop. It reports false (and counts a
-// drop) if the loop is saturated or stopped.
+// signalFlow tells every stream on this instance that its loop entered or
+// left the shedding state. The detail carries the shed marker so devices
+// know deltas may have been dropped and a resync (WAS point query) is
+// needed — the gap cannot be trusted (DESIGN.md §7c).
+func (inst *Instance) signalFlow(code burst.FlowCode) {
+	detail := overload.ShedMarkerPrefix + "brass-loop"
+	if code == burst.FlowRecovered {
+		detail = overload.RecoveredMarkerPrefix + "brass-loop"
+	}
+	inst.flowMu.Lock()
+	streams := make([]*Stream, 0, len(inst.flowStreams))
+	for st := range inst.flowStreams {
+		streams = append(streams, st)
+	}
+	inst.flowMu.Unlock()
+	for _, st := range streams {
+		// Control delta on the BURST stream; send errors mean the stream
+		// is already gone, which is fine.
+		_ = st.burst.SendBatch(burst.FlowStatusDelta(code, detail))
+		inst.host.FlowSignals.Inc()
+	}
+}
+
+// post enqueues fn onto the event loop as Control-class work (lifecycle,
+// acks, timers): it is never shed. It reports false only when the
+// instance has stopped.
 func (inst *Instance) post(fn func()) bool {
+	return inst.postClass(fn, overload.Control)
+}
+
+// postClass enqueues fn with an explicit shed class. Data-class work
+// (event deliveries) may displace the oldest queued Data task when the
+// loop is saturated; the displaced work is counted in LoopOverflows.
+func (inst *Instance) postClass(fn func(), class overload.Class) bool {
 	inst.mu.Lock()
 	if inst.stopped {
 		inst.mu.Unlock()
 		return false
 	}
 	inst.mu.Unlock()
-	select {
-	case inst.tasks <- fn:
-		return true
-	default:
-		inst.host.LoopOverflows.Inc()
-		return false
+	if shed := inst.tasks.Push(fn, class); shed > 0 {
+		inst.host.LoopOverflows.Add(int64(shed))
 	}
+	return true
 }
 
 // call posts fn and waits for it to run — used by tests and by host
@@ -168,9 +220,11 @@ func (inst *Instance) stop() {
 
 // deliver posts a Pylon event to the loop, counting per-stream decisions:
 // every event arriving at an instance forces one keep/drop decision per
-// candidate stream (Fig 8's "decisions on updates").
+// candidate stream (Fig 8's "decisions on updates"). Deliveries are
+// Data-class: a saturated loop sheds the oldest queued delivery rather
+// than blocking Pylon or losing lifecycle work.
 func (inst *Instance) deliver(ev pylon.Event) {
-	inst.post(func() {
+	inst.postClass(func() {
 		sp := inst.host.cfg.Tracer.Start(ev.Trace, trace.HopDeliver, trace.HopFanout)
 		defer sp.End()
 		sp.Annotate("host", inst.host.cfg.ID)
@@ -185,7 +239,7 @@ func (inst *Instance) deliver(ev pylon.Event) {
 			sp.AnnotateInt("streams", 0)
 		}
 		inst.impl.OnEvent(ev)
-	})
+	}, overload.Data)
 }
 
 // addTopicRef registers st's interest in topic (loop-owned).
@@ -258,7 +312,17 @@ func (inst *Instance) openStream(st *Stream) {
 			_ = st.burst.Terminate(fmt.Sprintf("rejected: %v", err))
 			return
 		}
+		inst.flowMu.Lock()
+		inst.flowStreams[st] = true
+		inst.flowMu.Unlock()
 		inst.host.StreamsOpened.Inc()
+		// A stream landing on an already-shedding loop learns immediately
+		// that deltas may be dropped, so its device can resync.
+		if inst.tasks.Shedding() {
+			_ = st.burst.SendBatch(burst.FlowStatusDelta(
+				burst.FlowDegraded, overload.ShedMarkerPrefix+"brass-loop"))
+			inst.host.FlowSignals.Inc()
+		}
 	})
 }
 
@@ -269,6 +333,9 @@ func (inst *Instance) closeStream(st *Stream, reason string) {
 			return
 		}
 		delete(inst.streams, st)
+		inst.flowMu.Lock()
+		delete(inst.flowStreams, st)
+		inst.flowMu.Unlock()
 		for topic := range st.topics {
 			inst.dropTopicRef(topic, st)
 		}

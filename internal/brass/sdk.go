@@ -23,12 +23,17 @@ type RateLimiter struct {
 }
 
 // Allow reports whether a delivery may happen at time now, consuming the
-// slot when it returns true.
+// slot when it returns true. Allow tolerates non-monotonic input: when now
+// precedes the last delivery by more than one Interval — the clock
+// retreated under it, e.g. state restored from a header written by a host
+// with a skewed clock, or a virtual clock reset — the limiter re-anchors
+// at now instead of denying until the original timeline catches up (which
+// for a large Interval could stall the stream forever).
 func (r *RateLimiter) Allow(now time.Time) bool {
 	if r.Interval <= 0 {
 		return true
 	}
-	if r.last.IsZero() || now.Sub(r.last) >= r.Interval {
+	if r.last.IsZero() || now.Sub(r.last) >= r.Interval || r.last.Sub(now) > r.Interval {
 		r.last = now
 		return true
 	}
@@ -48,13 +53,21 @@ func (r *RateLimiter) HeaderState() string {
 	return strconv.FormatInt(r.last.UnixNano(), 10)
 }
 
-// RestoreHeaderState loads limiter state stored by a previous BRASS.
-func (r *RateLimiter) RestoreHeaderState(s string) {
+// RestoreHeaderState loads limiter state stored by a previous BRASS,
+// clamping it to now: a failed host's header can carry a `last` timestamp
+// arbitrarily far in the future (clock skew, corruption), and restoring it
+// verbatim would silence the stream until that wall time. After a clamped
+// restore the next delivery is at most one Interval away.
+func (r *RateLimiter) RestoreHeaderState(s string, now time.Time) {
 	if s == "" {
 		return
 	}
 	if ns, err := strconv.ParseInt(s, 10, 64); err == nil && ns > 0 {
-		r.last = time.Unix(0, ns)
+		last := time.Unix(0, ns)
+		if last.After(now) {
+			last = now
+		}
+		r.last = last
 	}
 }
 

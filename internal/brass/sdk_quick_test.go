@@ -1,6 +1,7 @@
 package brass
 
 import (
+	"strconv"
 	"testing"
 	"testing/quick"
 	"time"
@@ -111,6 +112,49 @@ func TestRateLimiterBoundProperty(t *testing.T) {
 			}
 		}
 		return allowed <= 11 // 10s window at 1/s, +1 for the boundary
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(t)}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the limiter's stall is bounded under non-monotonic clocks.
+// For ANY sequence of attempt times — forwards, backwards, wildly skewed —
+// a denied attempt retried two Intervals later always succeeds. The pre-fix
+// Allow violated this: a clock retreat left `last` in the attempt's future,
+// and with a large Interval the limiter denied until the original timeline
+// caught up (potentially forever).
+func TestRateLimiterNonMonotonicBoundedStallProperty(t *testing.T) {
+	const iv = time.Minute
+	f := func(offsets []int32) bool {
+		r := RateLimiter{Interval: iv}
+		for _, off := range offsets {
+			at := sdkT0.Add(time.Duration(off) * time.Second)
+			if r.Allow(at) {
+				continue
+			}
+			// Bounded stall: whatever state the sequence produced, the
+			// limiter must grant within two Intervals of the denial.
+			if !r.Allow(at.Add(2 * iv)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(t)}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: restoring ANY header state (including future-dated or corrupt
+// values) never stalls the stream by more than one Interval: an attempt one
+// Interval after the restore point always succeeds.
+func TestRateLimiterRestoreNeverStallsProperty(t *testing.T) {
+	const iv = 5 * time.Minute
+	f := func(ns int64) bool {
+		r := RateLimiter{Interval: iv}
+		r.RestoreHeaderState(strconv.FormatInt(ns, 10), sdkT0)
+		return r.Allow(sdkT0.Add(iv))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: quickCount(t)}); err != nil {
 		t.Error(err)

@@ -1,13 +1,22 @@
 package brass
 
 import (
+	"sync"
 	"time"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/overload"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/trace"
 )
+
+// HdrAdmissionState is the BURST header field carrying the per-stream
+// delivery token bucket's persisted state. Like HdrRateLimiterState it is
+// rewritten into the subscription so a failover replacement stream resumes
+// admission where the old one left off (restores are clamped to "now" —
+// see overload.TokenBucket.RestoreHeaderState).
+const HdrAdmissionState = "admission-state"
 
 // Stream is one device request-stream as seen by application code. All
 // methods that mutate stream state must be called from the instance's event
@@ -31,6 +40,14 @@ type Stream struct {
 	// queued via QueuePayloadFor, consumed by the next Flush to open its
 	// burst.flush span. Loop-owned, like the Queue/Flush pair itself.
 	pendingTrace trace.ID
+
+	// admit is the per-stream delivery token bucket (zero Rate = disabled;
+	// configured from HostConfig.StreamDeliverRate and restored from
+	// HdrAdmissionState on subscribe). admitMu guards it plus degraded,
+	// because Push is callable off the loop.
+	admitMu  sync.Mutex
+	admit    overload.TokenBucket
+	degraded bool
 }
 
 // SID returns the BURST stream id.
@@ -59,8 +76,21 @@ func (st *Stream) Topics() []pylon.Topic {
 }
 
 // Push sends payload deltas to the device as one atomic batch, counting a
-// delivery per delta.
+// delivery per delta. When per-stream admission is enabled
+// (HostConfig.StreamDeliverRate), an over-rate batch has its payload
+// deltas shed — control deltas always go through — and the device is told
+// via FlowDegraded with a shed marker so it can resync.
 func (st *Stream) Push(deltas ...burst.Delta) error {
+	admitted, shed := st.admitPayloads(deltas)
+	if shed > 0 {
+		sp := st.startFlushSpan(firstTrace(deltas), len(deltas))
+		sp.Drop("stream-admission")
+		sp.End()
+		if len(admitted) == 0 {
+			return nil
+		}
+	}
+	deltas = admitted
 	sp := st.startFlushSpan(firstTrace(deltas), len(deltas))
 	defer sp.End()
 	if err := st.burst.SendBatch(deltas...); err != nil {
@@ -75,6 +105,69 @@ func (st *Stream) Push(deltas ...burst.Delta) error {
 	}
 	st.inst.host.Deliveries.Add(int64(n))
 	return nil
+}
+
+// admitPayloads runs the per-stream delivery bucket over one batch. A
+// batch with no payload deltas passes untouched (control is never rate
+// limited). On a denied batch every payload delta is shed and the stream
+// enters the degraded state: exactly one FlowDegraded with a shed marker
+// is emitted, and the bucket state is persisted to HdrAdmissionState so a
+// failover replacement resumes the same admission state (the paper's
+// rewrite mechanism, §3.5). The first admitted batch afterwards emits
+// FlowRecovered. Returns the surviving deltas and the shed count.
+func (st *Stream) admitPayloads(deltas []burst.Delta) ([]burst.Delta, int) {
+	h := st.inst.host
+	if h.cfg.StreamDeliverRate <= 0 {
+		return deltas, 0
+	}
+	payloads := 0
+	for _, d := range deltas {
+		if d.Type == burst.DeltaPayload {
+			payloads++
+		}
+	}
+	if payloads == 0 {
+		return deltas, 0
+	}
+	const none, entered, recovered = 0, 1, 2
+	st.admitMu.Lock()
+	ok := st.admit.Allow(h.sched.Now())
+	transition := none
+	switch {
+	case !ok && !st.degraded:
+		st.degraded = true
+		transition = entered
+	case ok && st.degraded:
+		st.degraded = false
+		transition = recovered
+	}
+	state := st.admit.HeaderState()
+	st.admitMu.Unlock()
+	if ok {
+		if transition == recovered {
+			// Recovery notice first, so the device knows the shed gap
+			// ended before the next payload lands.
+			_ = st.burst.SendBatch(burst.FlowStatusDelta(
+				burst.FlowRecovered, overload.RecoveredMarkerPrefix+"stream-admission"))
+			h.FlowSignals.Inc()
+			_ = st.burst.RewriteHeaderField(HdrAdmissionState, state)
+		}
+		return deltas, 0
+	}
+	kept := make([]burst.Delta, 0, len(deltas)-payloads)
+	for _, d := range deltas {
+		if d.Type != burst.DeltaPayload {
+			kept = append(kept, d)
+		}
+	}
+	h.StreamSheds.Add(int64(payloads))
+	if transition == entered {
+		_ = st.burst.SendBatch(burst.FlowStatusDelta(
+			burst.FlowDegraded, overload.ShedMarkerPrefix+"stream-admission"))
+		h.FlowSignals.Inc()
+		_ = st.burst.RewriteHeaderField(HdrAdmissionState, state)
+	}
+	return kept, payloads
 }
 
 // startFlushSpan opens the burst.flush span covering the frame encode +

@@ -29,9 +29,16 @@ type Client struct {
 	closed  bool
 	onClose func(error)
 
-	// Dropped counts batches discarded because a stream's event buffer
-	// was full. Delivery is best effort end to end.
+	// Dropped counts batches whose payload deltas were discarded because a
+	// stream's event buffer was full. Payload delivery is best effort end
+	// to end; control deltas (flow_status, rewrite_request, termination)
+	// are never dropped — a full buffer evicts the oldest batch and
+	// salvages its control deltas instead (see ClientStream.pushEvents).
 	Dropped metrics.Counter
+
+	// CtlSalvaged counts control deltas rescued from evicted batches and
+	// re-queued at the front of the incoming batch.
+	CtlSalvaged metrics.Counter
 
 	// RelayRewrites makes rewrite deltas visible on stream Events in
 	// addition to being applied to the stored request. Proxies set this:
@@ -41,7 +48,8 @@ type Client struct {
 }
 
 // eventBuffer is the per-stream channel capacity. A full buffer causes
-// batch drops (counted), mirroring best-effort delivery under client stall.
+// payload drops (counted), mirroring best-effort delivery under client
+// stall; control deltas survive eviction.
 const eventBuffer = 256
 
 // NewClient starts a BURST client session over rwc. onClose, if non-nil,
@@ -245,13 +253,9 @@ func (st *ClientStream) apply(deltas []Delta) {
 	}
 	// Send while holding the lock: Cancel/sessionLost close Events only
 	// after setting terminated under the same lock, so this send can
-	// never race with the close. The send is non-blocking.
+	// never race with the close. Sends and evictions are non-blocking.
 	if len(visible) > 0 {
-		select {
-		case st.Events <- visible:
-		default:
-			st.client.Dropped.Inc()
-		}
+		st.pushEvents(visible)
 	}
 	st.mu.Unlock()
 
@@ -261,8 +265,49 @@ func (st *ClientStream) apply(deltas []Delta) {
 	}
 }
 
+// pushEvents delivers one batch to the Events channel without ever losing
+// a control delta. If the buffer is full it evicts the OLDEST buffered
+// batch, sheds that batch's payload deltas (counted in Dropped), salvages
+// its control deltas onto the front of the outgoing batch (order
+// preserved), and retries. This is safe only because the session read
+// goroutine is the sole sender on Events — apply and sessionLost both run
+// there — so a non-blocking receive here cannot steal from a concurrent
+// producer, and after one eviction the retry always finds room.
+func (st *ClientStream) pushEvents(visible []Delta) {
+	for {
+		select {
+		case st.Events <- visible:
+			return
+		default:
+		}
+		select {
+		case old := <-st.Events:
+			shed := false
+			var salvage []Delta
+			for _, d := range old {
+				if d.Type == DeltaPayload {
+					shed = true
+					continue
+				}
+				salvage = append(salvage, d)
+			}
+			if shed {
+				st.client.Dropped.Inc()
+			}
+			if len(salvage) > 0 {
+				st.client.CtlSalvaged.Add(int64(len(salvage)))
+				visible = append(salvage, visible...)
+			}
+		default:
+			// The consumer drained a slot between our two selects; the
+			// retry will land.
+		}
+	}
+}
+
 // sessionLost delivers a synthetic degraded flow status and closes the
 // stream channel: the transport under every stream on the session is gone.
+// The notice is a control delta, so it uses the same never-lost push path.
 func (st *ClientStream) sessionLost() {
 	st.mu.Lock()
 	if st.terminated {
@@ -270,11 +315,7 @@ func (st *ClientStream) sessionLost() {
 		return
 	}
 	st.terminated = true
+	st.pushEvents([]Delta{FlowStatusDelta(FlowDegraded, "session closed")})
 	st.mu.Unlock()
-	select {
-	case st.Events <- []Delta{FlowStatusDelta(FlowDegraded, "session closed")}:
-	default:
-		st.client.Dropped.Inc()
-	}
 	close(st.Events)
 }

@@ -46,6 +46,13 @@ type ServerStream struct {
 	// deltas (payloads plus rewrites) into one batch frame halves the
 	// per-update frame count on chatty streams.
 	pending []Delta
+	// pendingLimit bounds pending (0 = unbounded). When a Queue would
+	// leave more than pendingLimit deltas buffered, the OLDEST payload
+	// deltas are shed to fit; control deltas (flow_status,
+	// rewrite_request, termination) are never shed, even if that means
+	// exceeding the bound. onShed observes each shed delta.
+	pendingLimit int
+	onShed       func(Delta)
 
 	// State is free space for the application (e.g. the BRASS keeps its
 	// per-stream filter state here). Synchronize externally if accessed
@@ -126,12 +133,50 @@ func (st *ServerStream) SendBatch(deltas ...Delta) error {
 // Flush.
 func (st *ServerStream) Queue(deltas ...Delta) error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.terminated {
+		st.mu.Unlock()
 		return fmt.Errorf("stream %d: %w", st.sid, ErrStreamClosed)
 	}
 	st.pending = append(st.pending, deltas...)
+	var shed []Delta
+	if st.pendingLimit > 0 && len(st.pending) > st.pendingLimit {
+		// Shed the oldest payload deltas until the bound holds; a live
+		// view wants the freshest update, and control deltas always keep
+		// their place.
+		over := len(st.pending) - st.pendingLimit
+		kept := st.pending[:0]
+		for _, d := range st.pending {
+			if over > 0 && d.Type == DeltaPayload {
+				shed = append(shed, d)
+				over--
+				continue
+			}
+			kept = append(kept, d)
+		}
+		for i := len(kept); i < len(st.pending); i++ {
+			st.pending[i] = Delta{}
+		}
+		st.pending = kept
+	}
+	onShed := st.onShed
+	st.mu.Unlock()
+	if onShed != nil {
+		for _, d := range shed {
+			onShed(d)
+		}
+	}
 	return nil
+}
+
+// SetPendingLimit bounds the stream's Queue/Flush buffer at limit deltas
+// (0 removes the bound). onShed, if non-nil, observes every payload delta
+// shed by the bound — callers use it to count sheds and signal degraded
+// mode; it runs outside the stream lock.
+func (st *ServerStream) SetPendingLimit(limit int, onShed func(Delta)) {
+	st.mu.Lock()
+	st.pendingLimit = limit
+	st.onShed = onShed
+	st.mu.Unlock()
 }
 
 // QueueRewrite buffers a rewrite_request delta and updates the server's

@@ -39,11 +39,25 @@ type Config struct {
 	Pylon pylon.Config
 	// StickyRouting enables BRASS sticky-routing rewrites.
 	StickyRouting bool
+	// Overload configures the overload-control plane on every BRASS host.
+	// The zero value leaves the plane in its defaults (bounded loop queue
+	// at the built-in depth, no delivery admission).
+	Overload OverloadConfig
 	// Trace, when set, wires the end-to-end tracing plane through every
 	// tier: the WAS samples mutations and each component closes its hop
 	// spans into the plane's per-process collectors. nil (the default)
 	// leaves all tracers nil — the zero-overhead configuration.
 	Trace *trace.Plane
+}
+
+// OverloadConfig selects the cluster-wide overload-control posture; the
+// fields mirror brass.HostConfig (see there for semantics).
+type OverloadConfig struct {
+	LoopQueueDepth     int
+	DeliverRate        float64
+	DeliverBurst       float64
+	StreamDeliverRate  float64
+	StreamDeliverBurst float64
 }
 
 // DefaultConfig returns a small but fully wired deployment: 2 regions, 2
@@ -153,7 +167,12 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 			id := fmt.Sprintf("brass-%s-%d", region, i)
 			h := brass.NewHost(brass.HostConfig{
 				ID: id, Region: region, StickyRouting: cfg.StickyRouting,
-				Tracer: cfg.Trace.Tracer(id),
+				Tracer:             cfg.Trace.Tracer(id),
+				LoopQueueDepth:     cfg.Overload.LoopQueueDepth,
+				DeliverRate:        cfg.Overload.DeliverRate,
+				DeliverBurst:       cfg.Overload.DeliverBurst,
+				StreamDeliverRate:  cfg.Overload.StreamDeliverRate,
+				StreamDeliverBurst: cfg.Overload.StreamDeliverBurst,
 			}, pyl, w, sched)
 			suite.RegisterBRASS(h)
 			c.Hosts = append(c.Hosts, h)

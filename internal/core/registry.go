@@ -34,6 +34,7 @@ func (r *Registry) Set(key, value string) {
 	watchers := append([]chan string(nil), r.watchers[key]...)
 	r.mu.Unlock()
 	for _, ch := range watchers {
+		//brlint:allow(counted-shed) level-triggered notify: the watcher re-reads current state on its next wake, so a dropped notification loses nothing
 		select {
 		case ch <- value:
 		default: // watcher is slow; it will re-read on next notification

@@ -15,6 +15,7 @@ import (
 	"bladerunner/internal/edge"
 	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
+	"bladerunner/internal/overload"
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/trace"
@@ -73,6 +74,15 @@ type Device struct {
 	Reconnects   metrics.Counter
 	Polls        metrics.Counter
 	Resubscribes metrics.Counter
+	// RenderDrops counts payload deltas shed because the app's Updates
+	// channel was full (the device-side best-effort hop).
+	RenderDrops metrics.Counter
+	// FlowCoalesced counts stale flow codes evicted so a newer one could
+	// land — the Flow channel always delivers the latest state.
+	FlowCoalesced metrics.Counter
+	// Resyncs counts shed-then-resync point queries issued after an
+	// upstream hop reported a shed gap.
+	Resyncs metrics.Counter
 }
 
 // Stream is one application-level subscription held by the device. Its
@@ -99,6 +109,15 @@ type Stream struct {
 	// retry timer, cancelled on close or when a resubscribe supersedes it.
 	bo          *faults.Backoff
 	retryCancel func()
+
+	// Shed-then-resync state (SetResync): when an upstream hop signals
+	// FlowDegraded with a shed marker, deltas were dropped and the gap
+	// cannot be trusted, so the device re-fetches authoritative state with
+	// a WAS point query instead of waiting for pushes that never come.
+	resyncBuild   func(lastSeq uint64) string
+	resyncApply   func([]byte)
+	resyncPending bool
+	resyncAgain   bool
 }
 
 // New builds a device. dialer reaches POP targets; wasrv serves the initial
@@ -411,14 +430,23 @@ func (st *Stream) pump(cs *burst.ClientStream) {
 					st.dev.Updates.Inc()
 					select {
 					case st.Updates <- delta:
-					default: // device is slow; best-effort drop
-						sp.Annotate("drop", "render-queue-full")
+					default: // device is slow; best-effort drop (counted)
+						st.dev.RenderDrops.Inc()
+						sp.Drop("render-queue-full")
 					}
 				}
 				st.mu.Unlock()
 				sp.End()
 			case burst.DeltaFlowStatus:
 				st.dev.FlowEvents.Inc()
+				if (delta.Flow == burst.FlowDegraded && overload.IsShedMarker(delta.FlowDetail)) ||
+					(delta.Flow == burst.FlowRecovered && overload.IsRecoveredMarker(delta.FlowDetail)) {
+					// An upstream hop dropped deltas: the gap is not
+					// trustworthy, so re-fetch via point query. The episode's
+					// CLOSE triggers one too — deltas shed after the onset
+					// resync's snapshot are only visible now.
+					st.triggerResync()
+				}
 				st.pushFlow(delta.Flow)
 			case burst.DeltaTermination:
 				st.terminate()
@@ -435,16 +463,102 @@ func (st *Stream) pump(cs *burst.ClientStream) {
 	// reconnect will resubscribe us; nothing to do here.
 }
 
+// pushFlow delivers a flow code to the app, coalescing under pressure:
+// a full buffer evicts the OLDEST code so the latest connectivity state
+// always lands. Silently dropping the newest (the old behaviour) could
+// lose a FlowRecovered behind a backlog of stale degraded notices,
+// wedging the app in "degraded" forever. st.mu serializes producers, so
+// after one eviction the retry always finds room.
 func (st *Stream) pushFlow(code burst.FlowCode) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return
 	}
-	select {
-	case st.Flow <- code:
-	default:
+	for {
+		select {
+		case st.Flow <- code:
+			return
+		default:
+		}
+		select {
+		case <-st.Flow:
+			st.dev.FlowCoalesced.Inc()
+		default:
+			// The app drained a slot between the two selects; retry lands.
+		}
 	}
+}
+
+// SetResync registers the stream's shed-then-resync hooks. build renders
+// the point-query expression from the last applied sequence number; apply
+// consumes the query result (e.g. replacing the rendered view). When an
+// upstream hop signals FlowDegraded with a shed marker, the device issues
+// the query off the pump goroutine; concurrent triggers coalesce into one
+// in-flight resync.
+func (st *Stream) SetResync(build func(lastSeq uint64) string, apply func([]byte)) {
+	st.mu.Lock()
+	st.resyncBuild = build
+	st.resyncApply = apply
+	st.mu.Unlock()
+}
+
+// triggerResync schedules a shed-then-resync point query (no-op when no
+// resync hooks are registered or the stream is closed). Triggers that
+// arrive while a resync is in flight coalesce into ONE trailing re-run:
+// the in-flight query's snapshot predates them, so skipping entirely could
+// leave a permanent gap, while re-running once after it completes cannot.
+func (st *Stream) triggerResync() {
+	st.mu.Lock()
+	if st.resyncBuild == nil || st.closed {
+		st.mu.Unlock()
+		return
+	}
+	if st.resyncPending {
+		st.resyncAgain = true
+		st.mu.Unlock()
+		return
+	}
+	st.resyncPending = true
+	st.mu.Unlock()
+	st.runResync()
+}
+
+// runResync issues one point query off the pump goroutine; resyncPending
+// is held by the caller and released (or rolled into a trailing re-run)
+// when the query completes.
+func (st *Stream) runResync() {
+	st.mu.Lock()
+	build, apply := st.resyncBuild, st.resyncApply
+	seq := st.seq
+	if st.closed || build == nil {
+		st.resyncPending = false
+		st.resyncAgain = false
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+	d := st.dev
+	d.sched.After(0, func() {
+		out, err := d.was.PointQuery(d.cfg.User, build(seq))
+		st.mu.Lock()
+		again := st.resyncAgain
+		st.resyncAgain = false
+		if !again {
+			st.resyncPending = false
+		}
+		closed := st.closed
+		st.mu.Unlock()
+		if err == nil && !closed {
+			d.Resyncs.Inc()
+			if apply != nil {
+				apply(out)
+			}
+		}
+		if again {
+			st.runResync()
+		}
+	})
 }
 
 // LastSeq returns the highest payload sequence number received.

@@ -7,6 +7,7 @@ import (
 
 	"bladerunner/internal/burst"
 	"bladerunner/internal/metrics"
+	"bladerunner/internal/overload"
 	"bladerunner/internal/trace"
 )
 
@@ -36,6 +37,10 @@ type Proxy struct {
 	RepairFailures  metrics.Counter
 	RewritesRelayed metrics.Counter
 	DownstreamDrops metrics.Counter
+	// ShedNotices counts shed-marker flow deltas this proxy relayed —
+	// upstream hops telling devices that deltas were dropped and a resync
+	// is needed. Edge visibility into degraded mode per POP.
+	ShedNotices metrics.Counter
 
 	// Tracer, when set, closes an edge.relay span per traced batch this
 	// proxy forwards. nil disables tracing on the relay path.
@@ -268,6 +273,9 @@ func (r *relay) pump(up *burst.ClientStream) (failed bool) {
 					// not forward (we send our own flow status).
 					sawFailure = true
 					continue
+				}
+				if overload.IsShedMarker(d.FlowDetail) {
+					r.p.ShedNotices.Inc()
 				}
 				forward = append(forward, d)
 			case burst.DeltaRewriteRequest:

@@ -102,5 +102,6 @@ func All(seed int64) []Result {
 		ReconnectStorm(seed),
 		HotFanout(seed),
 		TraceHops(seed),
+		OverloadStorm(seed),
 	}
 }

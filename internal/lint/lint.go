@@ -19,6 +19,9 @@
 //   - span-must-end: a span opened with trace.Tracer.Start must reach
 //     Span.End on every return path, or the hop silently disappears from
 //     assembled traces.
+//   - counted-shed: a select with a send and a default clause (best-effort
+//     drop) must record the shed on a metrics instrument — an uncounted
+//     drop is invisible to experiments and conservation checks.
 //
 // Diagnostics are suppressed with an inline escape hatch:
 //
@@ -167,6 +170,7 @@ func DefaultRules(modPath string) []Rule {
 		&GoroutineHygiene{},
 		&UncheckedUnsubscribe{ModPath: modPath},
 		&SpanMustEnd{ModPath: modPath},
+		&CountedShed{ModPath: modPath},
 	}
 }
 

@@ -144,6 +144,11 @@ func TestSpanMustEndFixture(t *testing.T) {
 	runFixture(t, "spanend", &lint.SpanMustEnd{ModPath: l.ModPath})
 }
 
+func TestCountedShedFixture(t *testing.T) {
+	l := testLoader(t)
+	runFixture(t, "countedshed", &lint.CountedShed{ModPath: l.ModPath})
+}
+
 // TestMalformedSuppressions checks directive validation: a wrong verb, an
 // unknown rule, and a missing reason each produce a "brlint" diagnostic,
 // and the reason-less allow does not suppress the violation under it.
@@ -183,7 +188,7 @@ func TestMalformedSuppressions(t *testing.T) {
 // well-formed suppression per rule, each actually used.
 func TestSuppressionsAudit(t *testing.T) {
 	l := testLoader(t)
-	fixtures := []string{"timeuse", "lockblock", "copylock", "goroutines", "errcheck", "spanend"}
+	fixtures := []string{"timeuse", "lockblock", "copylock", "goroutines", "errcheck", "spanend", "countedshed"}
 	var pkgs []*lint.Package
 	for _, fx := range fixtures {
 		p, err := l.Load("internal/lint/testdata/src/" + fx)
@@ -209,7 +214,7 @@ func TestSuppressionsAudit(t *testing.T) {
 			t.Errorf("%s:%d: suppression of %s has an empty reason", s.File, s.Line, s.Rule)
 		}
 	}
-	for _, rule := range []string{"no-direct-time", "no-lock-across-block", "mutex-by-value", "goroutine-hygiene", "unchecked-unsubscribe", "span-must-end"} {
+	for _, rule := range []string{"no-direct-time", "no-lock-across-block", "mutex-by-value", "goroutine-hygiene", "unchecked-unsubscribe", "span-must-end", "counted-shed"} {
 		if byRule[rule] != 1 {
 			t.Errorf("rule %s: %d suppressions in fixtures, want 1", rule, byRule[rule])
 		}

@@ -1,0 +1,79 @@
+// Package countedshed is a brlint fixture for the counted-shed rule: a
+// select with a send clause and a default clause is a best-effort drop and
+// must record the shed on a metrics instrument — in the default body or in
+// the fall-through continuation (evict-retry idiom). Wake-token sends of
+// struct{}{} and receive-only polls are not the rule's business.
+package countedshed
+
+import "bladerunner/internal/metrics"
+
+type sink struct {
+	ch      chan int
+	drops   metrics.Counter
+	evicted metrics.Counter
+}
+
+// SilentDrop is the bug the rule exists for: the payload vanishes and no
+// counter moves.
+func (s *sink) SilentDrop(v int) {
+	select { // want `counted-shed: best-effort drop is not counted`
+	case s.ch <- v:
+	default:
+	}
+}
+
+// CountedInDefault is the classic sanctioned shape.
+func (s *sink) CountedInDefault(v int) {
+	select {
+	case s.ch <- v:
+	default:
+		s.drops.Inc()
+	}
+}
+
+// CountedInContinuation is the evict-retry idiom: the first select's empty
+// default falls through to a companion receive-select that evicts the
+// oldest item and counts it.
+func (s *sink) CountedInContinuation(v int) {
+	for {
+		select {
+		case s.ch <- v:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.evicted.Inc()
+		default:
+		}
+	}
+}
+
+// WakeToken sends carry no data; dropping one when the buffer already
+// holds a token loses nothing.
+func (s *sink) WakeToken(ready chan struct{}) {
+	select {
+	case ready <- struct{}{}:
+	default:
+	}
+}
+
+// PollIsFine: receive-with-default is a poll, not a shed.
+func (s *sink) PollIsFine() (int, bool) {
+	select {
+	case v := <-s.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Allowed demonstrates the escape hatch for level-triggered notification
+// channels where the receiver re-reads current state anyway.
+func (s *sink) Allowed(v int) {
+	//brlint:allow(counted-shed) fixture: level-triggered notify; watcher re-reads on next wake
+	select {
+	case s.ch <- v:
+	default:
+	}
+}

@@ -70,6 +70,19 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// SetCounter registers an externally owned counter under name, replacing
+// any prior registration. Components that embed their counters as plain
+// fields (the overload plane's shed/admit counters, host delivery counts)
+// use this to expose them through a registry without double-counting.
+func (r *Registry) SetCounter(name string, c *Counter) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
 // Gauge returns the gauge with the given name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()

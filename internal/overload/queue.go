@@ -1,0 +1,149 @@
+package overload
+
+import (
+	"sync"
+
+	"bladerunner/internal/metrics"
+)
+
+// Queue is a bounded multi-producer work queue with an explicit shed
+// policy. When a Push would exceed the capacity, the OLDEST Data item is
+// shed to make room — a live view prefers the freshest update over a stale
+// backlog — and Control items are never shed: if the queue holds only
+// Control items, the bound is exceeded rather than dropping one (control
+// traffic is rare and small; losing it wedges streams).
+//
+// The queue tracks a shedding state with hysteresis: the first shed enters
+// it (OnDegraded fires once), and it is left when the consumer drains the
+// queue to half capacity (OnRecovered fires). Hops use the callbacks to
+// emit FlowDegraded/FlowRecovered to every stream participant.
+type Queue[T any] struct {
+	// OnDegraded fires once when the queue enters shedding; OnRecovered
+	// fires when it has drained back below half capacity. Both run on the
+	// goroutine that triggered the transition, outside the queue lock —
+	// they may push control deltas but must not call back into this
+	// queue's Push/Pop synchronously with unbounded work. Set before use.
+	OnDegraded  func()
+	OnRecovered func()
+
+	// ShedData counts Data items dropped by the shed policy.
+	ShedData metrics.Counter
+	// Degraded and Recovered count shedding-state transitions.
+	Degraded  metrics.Counter
+	Recovered metrics.Counter
+
+	mu       sync.Mutex
+	capacity int
+	items    []queueItem[T]
+	head     int
+	shedding bool
+	ready    chan struct{}
+}
+
+type queueItem[T any] struct {
+	v     T
+	class Class
+}
+
+// NewQueue builds a queue bounded at capacity items (capacity <= 0 means
+// unbounded — no shedding ever happens).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{capacity: capacity, ready: make(chan struct{}, 1)}
+}
+
+// Ready returns a channel that receives a token whenever items may be
+// pending. Consumers select on it and then drain with Pop until ok is
+// false.
+func (q *Queue[T]) Ready() <-chan struct{} { return q.ready }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// Shedding reports whether the queue is currently in the shedding state.
+func (q *Queue[T]) Shedding() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shedding
+}
+
+// Push enqueues v. It never blocks and never fails: a full queue sheds its
+// oldest Data item first (counted; the first shed of an episode fires
+// OnDegraded). It returns the number of items shed (0 or 1).
+func (q *Queue[T]) Push(v T, class Class) int {
+	q.mu.Lock()
+	shed := 0
+	if q.capacity > 0 && len(q.items)-q.head >= q.capacity {
+		// Shed the oldest Data item; Control is never dropped, even if
+		// that means exceeding the bound.
+		for i := q.head; i < len(q.items); i++ {
+			if q.items[i].class == Data {
+				copy(q.items[i:], q.items[i+1:])
+				q.items[len(q.items)-1] = queueItem[T]{}
+				q.items = q.items[:len(q.items)-1]
+				shed = 1
+				break
+			}
+		}
+	}
+	q.items = append(q.items, queueItem[T]{v: v, class: class})
+	enteredShed := false
+	if shed > 0 {
+		q.ShedData.Inc()
+		if !q.shedding {
+			q.shedding = true
+			enteredShed = true
+			q.Degraded.Inc()
+		}
+	}
+	q.mu.Unlock()
+
+	if enteredShed && q.OnDegraded != nil {
+		q.OnDegraded()
+	}
+	select {
+	case q.ready <- struct{}{}:
+	default:
+		// A wake-up token is already pending; the consumer will drain
+		// this item in the same pass. Nothing is lost, nothing to count.
+	}
+	return shed
+}
+
+// Pop dequeues the oldest item. ok is false when the queue is empty.
+// Draining below half capacity leaves the shedding state (OnRecovered).
+func (q *Queue[T]) Pop() (v T, class Class, ok bool) {
+	q.mu.Lock()
+	if q.head >= len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		q.mu.Unlock()
+		return v, Data, false
+	}
+	it := q.items[q.head]
+	q.items[q.head] = queueItem[T]{}
+	q.head++
+	if q.head > len(q.items)/2 && q.head > 64 {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = queueItem[T]{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	leftShed := false
+	if q.shedding && len(q.items)-q.head <= q.capacity/2 {
+		q.shedding = false
+		leftShed = true
+		q.Recovered.Inc()
+	}
+	q.mu.Unlock()
+
+	if leftShed && q.OnRecovered != nil {
+		q.OnRecovered()
+	}
+	return it.v, it.class, true
+}

@@ -1,0 +1,131 @@
+package pylon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// Publish-side admission: an over-rate publisher is shed with ErrShed
+// before ID assignment or fan-out work, counted on the admission
+// controller, and the bucket refills on the configured clock.
+func TestPublishAdmissionSheds(t *testing.T) {
+	kv := newKV(t)
+	clk := sim.NewManualClock(time.Date(2021, 10, 26, 0, 0, 0, 0, time.UTC))
+	cfg := DefaultConfig()
+	cfg.Clock = clk
+	cfg.AdmitRate = 1 // 1 publish/sec
+	cfg.AdmitBurst = 4
+	cfg.AdmitSeed = 7
+	s := MustNew(cfg, kv)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	if err := s.Subscribe("/t", "h"); err != nil {
+		t.Fatal(err)
+	}
+
+	admitted, shed := 0, 0
+	for i := 0; i < 20; i++ {
+		_, err := s.Publish(Event{Topic: "/t"})
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrShed):
+			shed++
+		default:
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	// Seeded initial fill is within [burst/2, burst] = [2, 4] tokens.
+	if admitted < 2 || admitted > 4 {
+		t.Errorf("admitted = %d, want within [2, 4]", admitted)
+	}
+	if admitted+shed != 20 {
+		t.Errorf("admitted+shed = %d, want 20", admitted+shed)
+	}
+	if got := s.Admit.Admitted.Value(); got != int64(admitted) {
+		t.Errorf("Admitted counter = %d, want %d", got, admitted)
+	}
+	if got := s.Admit.Shed.Value(); got != int64(shed) {
+		t.Errorf("Shed counter = %d, want %d", got, shed)
+	}
+	if h.count() != admitted {
+		t.Errorf("host deliveries = %d, want %d", h.count(), admitted)
+	}
+
+	// Virtual time refills the bucket: one second buys exactly one token.
+	clk.Advance(time.Second)
+	if _, err := s.Publish(Event{Topic: "/t"}); err != nil {
+		t.Fatalf("post-refill publish: %v", err)
+	}
+	if _, err := s.Publish(Event{Topic: "/t"}); !errors.Is(err, ErrShed) {
+		t.Fatalf("second post-refill publish err = %v, want ErrShed", err)
+	}
+}
+
+// Admission disabled (the default) never sheds and costs nothing: the
+// Admit field stays nil and the nil receiver admits everything.
+func TestPublishAdmissionDisabledByDefault(t *testing.T) {
+	s, _ := newService(t)
+	if s.Admit != nil {
+		t.Fatal("default config built an admission controller")
+	}
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	if err := s.Subscribe("/t", "h"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Publish(Event{Topic: "/t"}); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if h.count() != 100 {
+		t.Errorf("deliveries = %d, want 100", h.count())
+	}
+}
+
+// The admission bucket survives failover via header persistence: state
+// serialized from one controller restores (clamped) into another.
+func TestAdmissionHeaderSurvivesRestore(t *testing.T) {
+	kv := newKV(t)
+	clk := sim.NewManualClock(time.Date(2021, 10, 26, 0, 0, 0, 0, time.UTC))
+	cfg := DefaultConfig()
+	cfg.Clock = clk
+	cfg.AdmitRate = 1
+	cfg.AdmitBurst = 2
+	cfg.AdmitSeed = 3
+	s := MustNew(cfg, kv)
+	h := &fakeHost{id: "h"}
+	s.RegisterHost(h)
+	if err := s.Subscribe("/t", "h"); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the bucket.
+	for i := 0; i < 10; i++ {
+		_, _ = s.Publish(Event{Topic: "/t"})
+	}
+	state := s.Admit.HeaderState()
+	if state == "" {
+		t.Fatal("empty header state")
+	}
+
+	s2 := MustNew(cfg, newKV(t))
+	h2 := &fakeHost{id: "h2"}
+	s2.RegisterHost(h2)
+	if err := s2.Subscribe("/t", "h2"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Admit.RestoreHeaderState(state)
+	// The drained state carried over: the replacement sheds immediately
+	// instead of granting a fresh seeded burst.
+	if _, err := s2.Publish(Event{Topic: "/t"}); !errors.Is(err, ErrShed) {
+		t.Fatalf("publish after restoring drained state err = %v, want ErrShed", err)
+	}
+	clk.Advance(time.Second)
+	if _, err := s2.Publish(Event{Topic: "/t"}); err != nil {
+		t.Fatalf("post-refill publish: %v", err)
+	}
+}

@@ -211,6 +211,13 @@ func (s *Span) AnnotateInt(key string, v int64) {
 	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
 }
 
+// Drop annotates the span with the canonical shed/drop marker used across
+// the overload-control plane ("drop" = reason), so assembled traces show
+// exactly where an update left the pipeline. No-op when inactive.
+func (s *Span) Drop(reason string) {
+	s.Annotate("drop", reason)
+}
+
 // End closes the span and hands it to the process collector. Ending an
 // inactive or already-ended span is a no-op, so defer sp.End() is always
 // safe.
