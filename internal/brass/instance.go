@@ -223,7 +223,12 @@ func (inst *Instance) stop() {
 // candidate stream (Fig 8's "decisions on updates"). Deliveries are
 // Data-class: a saturated loop sheds the oldest queued delivery rather
 // than blocking Pylon or losing lifecycle work.
+//
+// audited allocation.
+//
+//brlint:hotpath per-event instance hand-off; the posted closure is the one
 func (inst *Instance) deliver(ev pylon.Event) {
+	//brlint:allow(hot-path-alloc) the event-loop task closure is the delivery unit itself: one bounded capture per event, shed oldest-first by the Data-class queue under overload
 	inst.postClass(func() {
 		sp := inst.host.cfg.Tracer.Start(ev.Trace, trace.HopDeliver, trace.HopFanout)
 		defer sp.End()

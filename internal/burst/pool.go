@@ -18,10 +18,12 @@ var encBufPool = sync.Pool{
 	New: func() any { return new(bytes.Buffer) },
 }
 
+//brlint:hotpath pooled buffer checkout on the per-frame encode path.
 func getEncBuf() *bytes.Buffer {
 	return encBufPool.Get().(*bytes.Buffer)
 }
 
+//brlint:hotpath pooled buffer return on the per-frame encode path.
 func putEncBuf(b *bytes.Buffer) {
 	if b.Cap() > maxPooledBuf {
 		return

@@ -88,6 +88,10 @@ func (s *Session) SetPongListener(fn func()) {
 
 // Send writes f to the peer. Frames from concurrent senders are serialized;
 // each frame is flushed immediately (streams are latency-sensitive).
+//
+// buffered write, flush.
+//
+//brlint:hotpath per-frame wire path: header encode into a stack buffer,
 func (s *Session) Send(f Frame) error {
 	s.mu.Lock()
 	if s.closed {
@@ -113,12 +117,17 @@ func (s *Session) Send(f Frame) error {
 // The encoding runs in a pooled buffer that is written to the wire (Send
 // flushes synchronously) before being reused, so the fast path allocates no
 // per-frame payload slice.
+//
+// audited allocation.
+//
+//brlint:hotpath per-delta payload push; the JSON encoder itself is the one
 func (s *Session) SendMsg(t FrameType, sid StreamID, v any) error {
 	if v == nil {
 		return s.Send(Frame{Type: t, SID: sid})
 	}
 	buf := getEncBuf()
 	defer putEncBuf(buf)
+	//brlint:allow(hot-path-alloc) the json.Encoder is a small per-frame cost the pooled payload buffer does not cover; the payload slice — the dominant per-delta allocation — stays pooled
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("burst: encode payload: %w", err)
 	}

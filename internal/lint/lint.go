@@ -67,6 +67,11 @@ type Context struct {
 	Fset *token.FileSet
 	// ModPath is the module path, for module-relative exemptions.
 	ModPath string
+	// Prog is the whole-module call graph + summary engine, built once per
+	// Run and shared by every (rule, package) pair. Interprocedural rules
+	// (hot-path-alloc, control-never-shed, the call-chain half of
+	// no-lock-across-block) query it; per-function rules ignore it.
+	Prog *Program
 
 	rule   string
 	report func(pos token.Pos, rule, msg string)
@@ -110,6 +115,11 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	for _, rule := range r.Rules {
 		known[rule.Name()] = true
 	}
+	// One call graph for the whole run: the loader already type-checked
+	// the package graph once; the Program adds a single AST pass per
+	// function, and its memoized summaries are shared across all rules
+	// and packages (the tier-1 lint-time budget, DESIGN.md §8b).
+	prog := NewProgram(r.Fset, r.ModPath, pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sups, bad := collectSuppressions(r.Fset, pkg.Files, known)
@@ -119,6 +129,7 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 				Pkg:     pkg,
 				Fset:    r.Fset,
 				ModPath: r.ModPath,
+				Prog:    prog,
 				rule:    rule.Name(),
 				report: func(pos token.Pos, name, msg string) {
 					p := r.Fset.Position(pos)
@@ -171,6 +182,8 @@ func DefaultRules(modPath string) []Rule {
 		&UncheckedUnsubscribe{ModPath: modPath},
 		&SpanMustEnd{ModPath: modPath},
 		&CountedShed{ModPath: modPath},
+		&HotPathAlloc{},
+		&ControlNeverShed{},
 	}
 }
 

@@ -20,13 +20,13 @@ var (
 	loaderErr  error
 )
 
-func testLoader(t *testing.T) *lint.Loader {
-	t.Helper()
+func testLoader(tb testing.TB) *lint.Loader {
+	tb.Helper()
 	loaderOnce.Do(func() {
 		loader, loaderErr = lint.NewLoader(".")
 	})
 	if loaderErr != nil {
-		t.Fatalf("NewLoader: %v", loaderErr)
+		tb.Fatalf("NewLoader: %v", loaderErr)
 	}
 	return loader
 }
@@ -149,6 +149,22 @@ func TestCountedShedFixture(t *testing.T) {
 	runFixture(t, "countedshed", &lint.CountedShed{ModPath: l.ModPath})
 }
 
+func TestHotPathAllocFixture(t *testing.T) {
+	runFixture(t, "hotpath", &lint.HotPathAlloc{})
+}
+
+func TestControlNeverShedFixture(t *testing.T) {
+	runFixture(t, "controlshed", &lint.ControlNeverShed{})
+}
+
+// TestLockChainFixture covers the interprocedural upgrade of
+// no-lock-across-block: blocking reached through one or more call hops
+// (including interface dispatch) while a lock is held.
+func TestLockChainFixture(t *testing.T) {
+	l := testLoader(t)
+	runFixture(t, "lockchain", &lint.NoLockAcrossBlock{ModPath: l.ModPath})
+}
+
 // TestMalformedSuppressions checks directive validation: a wrong verb, an
 // unknown rule, and a missing reason each produce a "brlint" diagnostic,
 // and the reason-less allow does not suppress the violation under it.
@@ -188,7 +204,7 @@ func TestMalformedSuppressions(t *testing.T) {
 // well-formed suppression per rule, each actually used.
 func TestSuppressionsAudit(t *testing.T) {
 	l := testLoader(t)
-	fixtures := []string{"timeuse", "lockblock", "copylock", "goroutines", "errcheck", "spanend", "countedshed"}
+	fixtures := []string{"timeuse", "lockblock", "copylock", "goroutines", "errcheck", "spanend", "countedshed", "hotpath", "controlshed", "lockchain"}
 	var pkgs []*lint.Package
 	for _, fx := range fixtures {
 		p, err := l.Load("internal/lint/testdata/src/" + fx)
@@ -214,9 +230,23 @@ func TestSuppressionsAudit(t *testing.T) {
 			t.Errorf("%s:%d: suppression of %s has an empty reason", s.File, s.Line, s.Rule)
 		}
 	}
-	for _, rule := range []string{"no-direct-time", "no-lock-across-block", "mutex-by-value", "goroutine-hygiene", "unchecked-unsubscribe", "span-must-end", "counted-shed"} {
-		if byRule[rule] != 1 {
-			t.Errorf("rule %s: %d suppressions in fixtures, want 1", rule, byRule[rule])
+	// One audited allow per fixture; the lockblock and lockchain fixtures
+	// both carry one for no-lock-across-block (same-function and
+	// call-chain halves of the rule).
+	wantByRule := map[string]int{
+		"no-direct-time":        1,
+		"no-lock-across-block":  2,
+		"mutex-by-value":        1,
+		"goroutine-hygiene":     1,
+		"unchecked-unsubscribe": 1,
+		"span-must-end":         1,
+		"counted-shed":          1,
+		"hot-path-alloc":        1,
+		"control-never-shed":    1,
+	}
+	for rule, want := range wantByRule {
+		if byRule[rule] != want {
+			t.Errorf("rule %s: %d suppressions in fixtures, want %d", rule, byRule[rule], want)
 		}
 	}
 }
@@ -241,6 +271,57 @@ func TestRepoLintsClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Logf("the repository must lint clean; fix the code or add a //brlint:allow(rule) reason")
+	}
+
+	// The clean result above only means something for hot-path-alloc if the
+	// latency-critical functions actually carry the annotation: assert the
+	// core set is gated so a dropped //brlint:hotpath line fails loudly
+	// instead of silently shrinking the rule's coverage.
+	prog := lint.NewProgram(l.Fset, l.ModPath, pkgs)
+	hot := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, n := range prog.NodesIn(pkg) {
+			if n.Hotpath {
+				hot[n.Name()] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"(*pylon.Service).Publish",
+		"(*brass.Host).Deliver",
+		"(*brass.Instance).deliver",
+		"(*burst.Session).Send",
+		"(*burst.Session).SendMsg",
+		"(*trace.Span).End",
+		"(*metrics.CountHistogram).Observe",
+	} {
+		if !hot[want] {
+			t.Errorf("%s is not annotated //brlint:hotpath; the static zero-alloc gate no longer covers it", want)
+		}
+	}
+	if len(hot) < 10 {
+		t.Errorf("only %d functions carry //brlint:hotpath; expected at least 10 (fan-out, frame encode, trace, accounting paths)", len(hot))
+	}
+}
+
+// BenchmarkLintModule measures a full brlint pass over the module — every
+// rule, including the interprocedural ones — against already-loaded
+// packages. Loading and type-checking happen once outside the timed loop
+// (they are shared by all rules in production too, via the memoizing
+// Loader); what this times is the per-run cost: call-graph construction,
+// summary computation, and every rule's traversal.
+func BenchmarkLintModule(b *testing.B) {
+	l := testLoader(b)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := lint.NewRunner(l).Run(pkgs); len(diags) > 0 {
+			b.Fatalf("module must lint clean, got %d diagnostics", len(diags))
+		}
 	}
 }
 

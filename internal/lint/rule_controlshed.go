@@ -1,0 +1,73 @@
+package lint
+
+// control-never-shed: a value classified overload.Control must never reach
+// a shedable sink. The overload plane's taxonomy (DESIGN.md §8, PR 5) is
+// Data sheds / Control never: lifecycle work (subscribes, stream setup,
+// despool) must survive saturation even as deliveries are dropped. The
+// bounded overload.Queue honors that by construction — its shed loop skips
+// Control entries — but the guarantee only holds while the classification
+// travels with the value. This rule closes the loop statically: at every
+// call site passing the overload.Control constant, the callee's
+// shed-reachability summary (escape.go) must show the value parameters
+// either never shed or shed strictly under the class argument the caller
+// just set to Control. A wrapper that hardcodes Data, drops the value in a
+// select-with-default, or forwards it without the class loses the
+// classification, and the rule reports where.
+
+// ControlNeverShed implements the control-never-shed rule.
+type ControlNeverShed struct{}
+
+// Name implements Rule.
+func (*ControlNeverShed) Name() string { return "control-never-shed" }
+
+// Doc implements Rule.
+func (*ControlNeverShed) Doc() string {
+	return "overload.Control values must not reach a shedable sink"
+}
+
+// Check implements Rule.
+func (r *ControlNeverShed) Check(c *Context) {
+	if c.Prog == nil {
+		return
+	}
+	info := c.Pkg.Info
+	for _, n := range c.Prog.NodesIn(c.Pkg) {
+		for _, cs := range n.Calls {
+			// Only call sites that explicitly classify Control are the
+			// rule's business: that is where the caller states intent.
+			control := false
+			for _, arg := range cs.Call.Args {
+				if c.Prog.IsControlConst(info, arg) {
+					control = true
+					break
+				}
+			}
+			if !control {
+				continue
+			}
+			// The intrinsic itself is safe by construction when called
+			// with Control (the queue's shed loop skips Control entries).
+			if _, _, isPush := c.Prog.queuePushArgs(cs); isPush {
+				continue
+			}
+			for _, t := range cs.Targets {
+				sub := c.Prog.ParamShedFacts(t)
+				reported := false
+				for ai := range cs.Call.Args {
+					sf, ok := sub[ai]
+					if !ok || sf.Kind != shedAlways {
+						continue
+					}
+					c.Reportf(cs.Pos,
+						"value classified overload.Control reaches a shedable sink: %s sheds its argument #%d regardless of class (%s at %s)",
+						t.Name(), ai+1, sf.Desc, c.Prog.shortPos(sf.Pos))
+					reported = true
+					break
+				}
+				if reported {
+					break
+				}
+			}
+		}
+	}
+}

@@ -22,6 +22,15 @@ import (
 // their lock-state changes to themselves; fall-through branches propagate
 // theirs. Function literals are separate functions with their own empty
 // lock state.
+//
+// On top of the per-function walk, the rule is call-chain aware: a call
+// made while a lock is held is checked against the whole-module blocking
+// summaries (Program.BlockFacts) — a critical section calling a helper
+// that receives on a channel two hops down is reported at the call site
+// with the chain down to the blocking operation. Interface calls check
+// every module implementation; calls through function values are not
+// resolved (the literal's own body is still checked with its own lock
+// state).
 type NoLockAcrossBlock struct {
 	// ModPath qualifies module-internal blocking helpers (sim.Sleep).
 	ModPath string
@@ -129,10 +138,49 @@ func (w *lockWalker) checkExpr(e ast.Expr, held map[string]token.Pos) {
 		case *ast.CallExpr:
 			if what, ok := w.blocking[calleeFullName(w.c.Pkg.Info, x)]; ok {
 				w.reportHeld(x.Pos(), "blocking call to "+what, held)
+			} else {
+				w.checkCallBlocks(x, held)
 			}
 		}
 		return true
 	})
+}
+
+// checkCallBlocks consults the whole-module blocking summaries for a call
+// made while a lock is held: known-blocking externals (net.Conn I/O) and
+// module functions whose transitive summary contains a channel operation
+// are reported with the call path down to the blocking site.
+func (w *lockWalker) checkCallBlocks(call *ast.CallExpr, held map[string]token.Pos) {
+	prog := w.c.Prog
+	if prog == nil {
+		return
+	}
+	f := calleeFunc(w.c.Pkg.Info, call)
+	if f == nil {
+		return
+	}
+	f = origin(f)
+	name := f.FullName()
+	if lockMethods[name] || unlockMethods[name] {
+		return
+	}
+	if why, ok := blockingByName[name]; ok {
+		w.reportHeld(call.Pos(), "call to "+shortFuncName(f)+", which "+why, held)
+		return
+	}
+	var targets []*FuncNode
+	if isInterfaceMethod(f) {
+		targets = prog.implementations(f)
+	} else if t := prog.Node(f); t != nil {
+		targets = []*FuncNode{t}
+	}
+	for _, t := range targets {
+		if facts := prog.BlockFacts(t); len(facts) > 0 {
+			w.reportHeld(call.Pos(),
+				"call to "+t.Name()+", which blocks: "+facts[0].Desc+" at "+prog.shortPos(facts[0].Pos), held)
+			return
+		}
+	}
 }
 
 func (w *lockWalker) scanStmts(stmts []ast.Stmt, held map[string]token.Pos) {

@@ -32,11 +32,16 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 			for _, c := range cg.List {
 				m := allowRE.FindStringSubmatch(c.Text)
 				if m == nil {
-					if strings.HasPrefix(c.Text, "//brlint:") && !strings.HasPrefix(c.Text, "//brlint:allow(") {
+					// //brlint:hotpath is the other valid directive: it
+					// annotates a declaration for the hot-path-alloc rule
+					// (parsed by the call-graph layer, not here).
+					if strings.HasPrefix(c.Text, "//brlint:") &&
+						!strings.HasPrefix(c.Text, "//brlint:allow(") &&
+						!hotpathRE.MatchString(c.Text) {
 						bad = append(bad, Diagnostic{
 							Pos:     fset.Position(c.Pos()),
 							Rule:    "brlint",
-							Message: "malformed brlint directive; use //brlint:allow(rule) reason",
+							Message: "malformed brlint directive; use //brlint:allow(rule) reason or //brlint:hotpath",
 						})
 					}
 					continue

@@ -1,0 +1,64 @@
+// Package controlshed is a brlint fixture for the control-never-shed rule:
+// a value classified overload.Control must never reach a shedable sink.
+// Pushing straight to the bounded queue with the Control constant is safe
+// by construction (the queue's shed loop skips Control entries), and so is
+// any wrapper that forwards the caller's class alongside the value. What
+// the rule catches is classification loss: a wrapper that hardcodes Data,
+// drops the value in a select-with-default, or otherwise sheds it
+// regardless of the class the caller attached.
+package controlshed
+
+import "bladerunner/internal/overload"
+
+type loop struct {
+	tasks *overload.Queue[func()]
+	ch    chan func()
+}
+
+// post forwards the caller's class with the value: Control stays Control
+// all the way to the queue.
+func (l *loop) post(fn func(), class overload.Class) {
+	l.tasks.Push(fn, class)
+}
+
+// enqueue is a two-hop wrapper that still preserves the class.
+func (l *loop) enqueue(fn func(), class overload.Class) {
+	l.post(fn, class)
+}
+
+// postData loses the classification: whatever the caller said, the value
+// is pushed Data-class and the queue may shed it.
+func (l *loop) postData(fn func(), class overload.Class) {
+	l.tasks.Push(fn, overload.Data)
+}
+
+// postDrop loses the value outright on a full channel: a best-effort drop
+// is a shedable sink no class survives.
+func (l *loop) postDrop(fn func(), class overload.Class) {
+	select {
+	case l.ch <- fn:
+	default:
+	}
+}
+
+func (l *loop) Lifecycle(fn func()) {
+	l.tasks.Push(fn, overload.Control)
+	l.post(fn, overload.Control)
+	l.enqueue(fn, overload.Control)
+	l.postData(fn, overload.Control) // want `control-never-shed: value classified overload.Control reaches a shedable sink: \(\*lint/testdata/src/controlshed.loop\).postData sheds its argument #1 regardless of class \(Data-class push to bounded overload.Queue at controlshed.go:\d+\)`
+	l.postDrop(fn, overload.Control) // want `control-never-shed: value classified overload.Control reaches a shedable sink: \(\*lint/testdata/src/controlshed.loop\).postDrop sheds its argument #1 regardless of class \(select-with-default drop at controlshed.go:\d+\)`
+}
+
+// DataStaysShedable: Data-class values may shed; the rule only polices
+// Control.
+func (l *loop) DataStaysShedable(fn func()) {
+	l.postData(fn, overload.Data)
+	l.postDrop(fn, overload.Data)
+}
+
+// Allowed demonstrates the audited escape hatch for a hand-off that
+// tolerates losing the final notification.
+func (l *loop) Allowed(fn func()) {
+	//brlint:allow(control-never-shed) fixture: teardown notification; the receiver re-checks the stop flag on its next wake, so a dropped wake loses nothing
+	l.postDrop(fn, overload.Control)
+}

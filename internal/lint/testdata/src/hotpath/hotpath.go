@@ -1,0 +1,165 @@
+// Package hotpath is a brlint fixture for the hot-path-alloc rule:
+// functions annotated //brlint:hotpath must be statically allocation-free
+// on their non-error paths — no composite-literal heap escapes, make/new/
+// append, closures, boxing interface conversions, or string building, and
+// no call edge into a function that cannot be proven allocation-free.
+// Edges into other hotpath functions are trusted, failure branches that
+// return a non-nil error are exempt, and //brlint:allow(hot-path-alloc) is
+// the audited escape hatch.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+type payload struct{ b []byte }
+
+type ring struct {
+	slots []payload
+	idx   int
+}
+
+// put is the clean steady-state shape: index, assign, arithmetic.
+//
+//brlint:hotpath fixture: slot overwrite allocates nothing
+func (r *ring) put(p payload) {
+	r.slots[r.idx] = p
+	r.idx = (r.idx + 1) % len(r.slots)
+}
+
+// trusted calls another hotpath function: the contract composes, the edge
+// is not re-analyzed.
+//
+//brlint:hotpath fixture: hotpath-to-hotpath edges are trusted
+func (r *ring) trusted(p payload) {
+	r.put(p)
+}
+
+// checked exercises the failure-path exemption: a branch returning a
+// non-nil error may allocate.
+//
+//brlint:hotpath fixture: error branches are off the steady-state path
+func (r *ring) checked(n int) error {
+	if n > len(r.slots) {
+		return fmt.Errorf("hotpath fixture: slot %d out of range", n)
+	}
+	r.idx = n
+	return nil
+}
+
+// counts uses the stdlib allocation-free allowlist (sync/atomic).
+//
+//brlint:hotpath fixture: atomics are allowlisted
+func counts(c *atomic.Int64) {
+	c.Add(1)
+}
+
+//brlint:hotpath fixture
+func allocs(n int) []int {
+	m := make(map[int]int, n) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.allocs: make allocates`
+	m[n] = n
+	p := new(ring) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.allocs: new allocates`
+	p.idx = n
+	s := []int{1, 2, 3} // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.allocs: slice literal`
+	s = append(s, n)    // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.allocs: append may grow its backing array`
+	return s
+}
+
+//brlint:hotpath fixture
+func concat(a, b string) string {
+	return a + b // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.concat: string concatenation`
+}
+
+//brlint:hotpath fixture
+func tobytes(s string) []byte {
+	return []byte(s) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.tobytes: string/\[\]byte conversion copies`
+}
+
+//brlint:hotpath fixture
+func escapes() *ring {
+	return &ring{} // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.escapes: &composite literal \(heap allocation\)`
+}
+
+//brlint:hotpath fixture
+func closes(n int) func() int {
+	f := func() int { return n } // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.closes: function literal allocates a closure`
+	return f
+}
+
+//brlint:hotpath fixture
+func spawns(r *ring, p payload) {
+	go r.put(p) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.spawns: go statement starts a goroutine`
+}
+
+//brlint:hotpath fixture
+func dynamic(fn func()) {
+	fn() // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.dynamic: call through a function value cannot be proven allocation-free`
+}
+
+// dirtyHelper is not annotated: its allocation surfaces at hotpath call
+// sites through the transitive summary, with the chain in the message.
+func dirtyHelper() *ring {
+	return &ring{}
+}
+
+// cleanHop is allocation-free but calls a dirty function: a hotpath caller
+// two hops up still sees the composed chain.
+func cleanHop() *ring {
+	return dirtyHelper()
+}
+
+//brlint:hotpath fixture
+func chain() *ring {
+	return cleanHop() // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.chain: call to lint/testdata/src/hotpath.cleanHop, which allocates: call to lint/testdata/src/hotpath.dirtyHelper, which allocates: &composite literal \(heap allocation\) at hotpath.go:\d+ at hotpath.go:\d+`
+}
+
+//brlint:hotpath fixture
+func external(s string) string {
+	return strings.ToUpper(s) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.external: call to strings.ToUpper is not on the allocation-free allowlist`
+}
+
+//brlint:hotpath fixture
+func sentinel() error {
+	return errors.ErrUnsupported
+}
+
+// logger exercises boxing detection: a concrete non-pointer value passed
+// to an interface parameter allocates its box.
+type logger interface{ log(v any) }
+
+type nopLogger struct{}
+
+func (nopLogger) log(v any) {}
+
+//brlint:hotpath fixture
+func boxes(l logger, n int) {
+	l.log(n) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.boxes: argument boxes into interface parameter of \(lint/testdata/src/hotpath.logger\).log`
+}
+
+// sink exercises interface dispatch over module implementations: the call
+// is only clean if every resolvable implementation is.
+type sink interface{ consume(p payload) }
+
+type allocSink struct{ buf []payload }
+
+func (s *allocSink) consume(p payload) { s.buf = append(s.buf, p) }
+
+type countSink struct{ n int }
+
+func (c *countSink) consume(payload) { c.n++ }
+
+//brlint:hotpath fixture
+func dispatch(s sink, p payload) {
+	s.consume(p) // want `hot-path-alloc: hot-path function lint/testdata/src/hotpath.dispatch: interface call to \(lint/testdata/src/hotpath.sink\).consume may dispatch to \(\*lint/testdata/src/hotpath.allocSink\).consume, which allocates: append may grow its backing array at hotpath.go:\d+`
+}
+
+// allowed demonstrates the audited escape hatch.
+//
+//brlint:hotpath fixture: warm-up allocation under an audited allow
+func allowed(n int) []int {
+	//brlint:allow(hot-path-alloc) fixture: one-time warm-up allocation, amortized to zero in steady state
+	return make([]int, n)
+}

@@ -1,0 +1,90 @@
+// Package lockchain is a brlint fixture for the interprocedural half of
+// the no-lock-across-block rule: a critical section that calls a helper
+// which blocks — directly or further down the call chain, including
+// through a module interface — is reported at the call site with the chain
+// down to the blocking operation. Helpers that only do non-blocking work
+// (select with default), calls made after unlocking, and goroutine spawns
+// must pass.
+package lockchain
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// wait blocks: the receive is the chain's terminal fact.
+func (b *box) wait() {
+	<-b.ch
+}
+
+// waitDeep blocks two hops down.
+func (b *box) waitDeep() {
+	b.wait()
+}
+
+// poke never blocks: select with default.
+func (b *box) poke() {
+	select {
+	case b.ch <- 1:
+		b.n++
+	default:
+		b.n--
+	}
+}
+
+func (b *box) DirectChain() {
+	b.mu.Lock()
+	b.wait() // want `no-lock-across-block: call to \(\*lint/testdata/src/lockchain.box\).wait, which blocks: channel receive at lockchain.go:\d+ while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) DeepChain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.waitDeep() // want `no-lock-across-block: call to \(\*lint/testdata/src/lockchain.box\).waitDeep, which blocks: call to \(\*lint/testdata/src/lockchain.box\).wait, which blocks: channel receive at lockchain.go:\d+ at lockchain.go:\d+ while holding b.mu`
+}
+
+// waiter resolves to *box through the module method-set index: interface
+// dispatch under a lock checks every implementation.
+type waiter interface{ wait() }
+
+func (b *box) IfaceChain(w waiter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w.wait() // want `no-lock-across-block: call to \(\*lint/testdata/src/lockchain.box\).wait, which blocks: channel receive at lockchain.go:\d+ while holding b.mu`
+}
+
+// NonBlockingHelper: the helper's select has a default, its summary is
+// clean.
+func (b *box) NonBlockingHelper() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.poke()
+}
+
+// AfterUnlock: the blocking call runs outside the critical section.
+func (b *box) AfterUnlock() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.wait()
+}
+
+// Spawned: `go` hands the blocking call to another goroutine; the lock
+// holder does not block.
+func (b *box) Spawned() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go b.wait()
+}
+
+// Allowed demonstrates the audited escape hatch.
+func (b *box) Allowed() {
+	b.mu.Lock()
+	//brlint:allow(no-lock-across-block) fixture: the channel is buffered and its producer never takes b.mu, so the receive cannot deadlock
+	b.wait()
+	b.mu.Unlock()
+}

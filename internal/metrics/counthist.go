@@ -45,6 +45,10 @@ func NewCountHistogramSize(size int) *CountHistogram {
 }
 
 // Observe records one value.
+//
+// overwrites reservoir slots in place.
+//
+//brlint:hotpath fan-out accounting runs on every publish; steady state
 func (h *CountHistogram) Observe(v int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -57,6 +61,7 @@ func (h *CountHistogram) Observe(v int64) {
 	h.count++
 	h.sum += v
 	if len(h.reservoir) < h.cap {
+		//brlint:allow(hot-path-alloc) reservoir warm-up only: the append runs at most cap times over the histogram's lifetime, then algorithm R overwrites in place
 		h.reservoir = append(h.reservoir, v)
 		h.sorted = false
 		return

@@ -450,6 +450,10 @@ func (s *Service) nextEventID(shard int) uint64 {
 //
 // Delivery is best effort: unknown or failed hosts are skipped silently.
 // Publish returns the number of hosts the event was sent to.
+//
+// slow path lives in publishSlow behind an audited allow.
+//
+//brlint:hotpath fast-path fan-out is gated at 0 allocs/op (BENCH_3/5); the
 func (s *Service) Publish(ev Event) (int, error) {
 	shard := s.Shard(ev.Topic)
 	rt := s.route.Load()
@@ -499,6 +503,7 @@ func (s *Service) Publish(ev Event) (int, error) {
 				n := 0
 				for _, m := range e.members {
 					if sub := hosts[string(m)]; sub != nil {
+						//brlint:allow(hot-path-alloc) subscriber dispatch: production subscribers (brass.Host, bench.Sink) are hotpath-gated; baseline/ablation subscribers allocate but are experiment-only
 						sub.Deliver(ev)
 						n++
 					}
@@ -517,6 +522,17 @@ func (s *Service) Publish(ev Event) (int, error) {
 		}
 	}
 
+	// The span moves by value into the slow path, which ends it; taking
+	// its address here would heap-allocate it on every publish.
+	//brlint:allow(hot-path-alloc) cache miss/stale takes the replica-read flow; its allocations are per-miss, not per-publish, and the cached result keeps later publishes on the fast path
+	return s.publishSlow(ev, shard, ver, hosts, sp)
+}
+
+// publishSlow is the staged first-responder flow behind Publish's cache
+// miss: replica read, immediate forward on the first response, catch-up
+// forwards, divergence repair, and cache fill. It owns sp from here on and
+// ends it on every path.
+func (s *Service) publishSlow(ev Event, shard int, ver uint64, hosts map[string]Subscriber, sp trace.Span) (int, error) {
 	resp := s.kv.ReadAll(string(ev.Topic))
 
 	// Stage 1: first successful replica response starts fan-out.

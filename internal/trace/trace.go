@@ -165,6 +165,10 @@ func (t *Tracer) Proc() string {
 // Start opens a span for the given trace at the given hop. It returns an
 // inactive no-op span when the tracer is nil or the event is unsampled
 // (id == 0); the returned value never escapes to the heap in that case.
+//
+// off; Span is a value type on both branches.
+//
+//brlint:hotpath the inactive-span path is what keeps tracing free when
 func (t *Tracer) Start(id ID, hop, parent string) Span {
 	if t == nil || id == 0 {
 		return Span{}
@@ -196,24 +200,36 @@ type Span struct {
 func (s *Span) Active() bool { return s.tr != nil && !s.ended }
 
 // Annotate attaches a key/value annotation (no-op when inactive).
+//
+// sampled.
+//
+//brlint:hotpath called on every publish/deliver; free unless the event was
 func (s *Span) Annotate(key, value string) {
 	if s.tr == nil || s.ended {
 		return
 	}
+	//brlint:allow(hot-path-alloc) active spans only: the append runs for sampled events, a rate the sampler caps; unsampled events return on the nil guard above
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 }
 
 // AnnotateInt attaches an integer annotation (no-op when inactive).
+//
+// sampled.
+//
+//brlint:hotpath called on every publish/deliver; free unless the event was
 func (s *Span) AnnotateInt(key string, v int64) {
 	if s.tr == nil || s.ended {
 		return
 	}
+	//brlint:allow(hot-path-alloc) active spans only: append plus integer formatting run for sampled events; unsampled events return on the nil guard above
 	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
 }
 
 // Drop annotates the span with the canonical shed/drop marker used across
 // the overload-control plane ("drop" = reason), so assembled traces show
 // exactly where an update left the pipeline. No-op when inactive.
+//
+//brlint:hotpath shed decisions sit on admission-controlled fast paths.
 func (s *Span) Drop(reason string) {
 	s.Annotate("drop", reason)
 }
@@ -221,11 +237,16 @@ func (s *Span) Drop(reason string) {
 // End closes the span and hands it to the process collector. Ending an
 // inactive or already-ended span is a no-op, so defer sp.End() is always
 // safe.
+//
+// the event was sampled.
+//
+//brlint:hotpath closed on every publish/deliver return path; free unless
 func (s *Span) End() {
 	if s.tr == nil || s.ended {
 		return
 	}
 	s.ended = true
+	//brlint:allow(hot-path-alloc) active spans only: the collector ring append runs for sampled events; unsampled events return on the nil guard above
 	s.tr.col.add(SpanData{
 		Trace:  s.id,
 		Hop:    s.hop,
