@@ -60,6 +60,11 @@ type benchReport struct {
 	// ENABLED at a non-shedding rate — the 0 allocs/op gate covers the
 	// plane's per-publish cost.
 	Overload []experiments.Row `json:"overload,omitempty"`
+	// GeoFailover is the multi-region disaster-path experiment: per-stream
+	// failover time and cross-region replication lag when a whole region is
+	// cut under live streams. The CDFs back the table rows.
+	GeoFailover       []experiments.Row                    `json:"geofailover,omitempty"`
+	GeoFailoverSeries map[string][]experiments.SeriesPoint `json:"geofailover_series,omitempty"`
 }
 
 // runBenchJSON runs the shared hot-path benchmark bodies (internal/bench —
@@ -101,8 +106,12 @@ func runBenchJSON(path string, seed int64) error {
 	fmt.Fprintln(os.Stderr, "experiment overload...")
 	storm := experiments.OverloadStorm(seed)
 	fmt.Println(storm)
+	fmt.Fprintln(os.Stderr, "experiment geofailover...")
+	geo := experiments.GeoFailover(seed)
+	fmt.Println(geo)
 	out, err := json.MarshalIndent(benchReport{
 		Before: benchBaseline, After: results, Overload: storm.Rows,
+		GeoFailover: geo.Rows, GeoFailoverSeries: geo.Series,
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -111,7 +120,7 @@ func runBenchJSON(path string, seed int64) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, geofailover, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark results (ns/op, allocs/op) to this JSON file and exit")
@@ -126,20 +135,21 @@ func main() {
 	}
 
 	runners := map[string]func() experiments.Result{
-		"table1":     func() experiments.Result { return experiments.Table1(*seed, 2_000_000) },
-		"table2":     func() experiments.Result { return experiments.Table2(*seed, 500_000) },
-		"table3":     func() experiments.Result { return experiments.Table3(*seed, 100_000) },
-		"fig6":       func() experiments.Result { return experiments.Figure6(*seed, 100_000) },
-		"fig7":       func() experiments.Result { return experiments.Figure7(*seed, 200_000) },
-		"fig8":       func() experiments.Result { return experiments.Figure8(*seed) },
-		"fig9":       func() experiments.Result { return experiments.Figure9(*seed, 100_000) },
-		"fig10":      func() experiments.Result { return experiments.Figure10(*seed) },
-		"switchover": func() experiments.Result { return experiments.Switchover(*seed) },
-		"storm":      func() experiments.Result { return experiments.ReconnectStorm(*seed) },
-		"hotfanout":  func() experiments.Result { return experiments.HotFanout(*seed) },
-		"tracehops":  func() experiments.Result { return experiments.TraceHops(*seed) },
-		"overload":   func() experiments.Result { return experiments.OverloadStorm(*seed) },
-		"ablations":  nil, // expanded below
+		"table1":      func() experiments.Result { return experiments.Table1(*seed, 2_000_000) },
+		"table2":      func() experiments.Result { return experiments.Table2(*seed, 500_000) },
+		"table3":      func() experiments.Result { return experiments.Table3(*seed, 100_000) },
+		"fig6":        func() experiments.Result { return experiments.Figure6(*seed, 100_000) },
+		"fig7":        func() experiments.Result { return experiments.Figure7(*seed, 200_000) },
+		"fig8":        func() experiments.Result { return experiments.Figure8(*seed) },
+		"fig9":        func() experiments.Result { return experiments.Figure9(*seed, 100_000) },
+		"fig10":       func() experiments.Result { return experiments.Figure10(*seed) },
+		"switchover":  func() experiments.Result { return experiments.Switchover(*seed) },
+		"storm":       func() experiments.Result { return experiments.ReconnectStorm(*seed) },
+		"hotfanout":   func() experiments.Result { return experiments.HotFanout(*seed) },
+		"tracehops":   func() experiments.Result { return experiments.TraceHops(*seed) },
+		"overload":    func() experiments.Result { return experiments.OverloadStorm(*seed) },
+		"geofailover": func() experiments.Result { return experiments.GeoFailover(*seed) },
+		"ablations":   nil, // expanded below
 	}
 
 	ablations := func() []experiments.Result {

@@ -45,7 +45,7 @@ func NewActiveStatus(w *was.Server) *ActiveStatus {
 
 	// Devices call this every 30 s while online.
 	w.RegisterMutation("reportActive", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: StatusTopic(ctx.Viewer),
 			Meta: map[string]string{
 				"uid": strconv.FormatUint(uint64(ctx.Viewer), 10),

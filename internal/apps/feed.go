@@ -45,7 +45,7 @@ func NewFeedComments(w *was.Server) *FeedComments {
 			"post":   strconv.FormatUint(postID, 10),
 		})
 		ctx.Srv.TAO.AssocAdd(tao.ObjID(postID), "post_comment", ref, ctx.Now, "")
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: PostTopic(postID),
 			Ref:   uint64(ref),
 			Meta: map[string]string{
@@ -65,7 +65,7 @@ func NewFeedComments(w *was.Server) *FeedComments {
 	})
 
 	w.RegisterPayload(AppFeedComments, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
-		obj, err := ctx.Srv.TAO.ObjectGet(ref)
+		obj, err := ctx.Reader().ObjectGet(ref)
 		if err != nil {
 			return nil, err
 		}

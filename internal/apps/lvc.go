@@ -109,17 +109,17 @@ func NewLiveVideoComments(w *was.Server) *LiveVideoComments {
 		if a.hot.observe(videoID, ctx.Now) {
 			switch {
 			case score >= a.HighRankCutoff:
-				ctx.Srv.Publish(pylon.Event{Topic: LVCTopic(videoID),
+				ctx.Publish(pylon.Event{Topic: LVCTopic(videoID),
 					Ref: uint64(ref), Meta: meta}, a.RankBeforePublish)
 			case score < a.HotDiscardCutoff:
 				// Discarded during the storm; still durable in TAO.
 			default:
-				ctx.Srv.Publish(pylon.Event{Topic: LVCUserTopic(videoID, author.ID),
+				ctx.Publish(pylon.Event{Topic: LVCUserTopic(videoID, author.ID),
 					Ref: uint64(ref), Meta: meta}, a.RankBeforePublish)
 			}
 			return uint64(ref), nil
 		}
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: LVCTopic(videoID),
 			Ref:   uint64(ref),
 			Meta:  meta,
@@ -155,7 +155,7 @@ func NewLiveVideoComments(w *was.Server) *LiveVideoComments {
 		if n, err := call.Uint64Arg("limit"); err == nil {
 			limit = int(n)
 		}
-		assocs := ctx.Srv.TAO.AssocRange(tao.ObjID(videoID), "video_comment", 0, limit)
+		assocs := ctx.Reader().AssocRange(tao.ObjID(videoID), "video_comment", 0, limit)
 		out := make([]CommentPayload, 0, len(assocs))
 		for _, as := range assocs {
 			p, err := a.payload(ctx, as.ID2)
@@ -174,7 +174,7 @@ func NewLiveVideoComments(w *was.Server) *LiveVideoComments {
 }
 
 func (a *LiveVideoComments) payload(ctx *was.Ctx, ref tao.ObjID) (CommentPayload, error) {
-	obj, err := ctx.Srv.TAO.ObjectGet(ref)
+	obj, err := ctx.Reader().ObjectGet(ref)
 	if err != nil {
 		return CommentPayload{}, err
 	}

@@ -111,7 +111,7 @@ func NewMessenger(w *was.Server) *Messenger {
 		})
 		for _, member := range members {
 			seq := a.appendToMailbox(ctx, member, ref)
-			ctx.Srv.Publish(pylon.Event{
+			ctx.Publish(pylon.Event{
 				Topic: MailboxTopic(member),
 				Ref:   uint64(ref),
 				Seq:   seq,
@@ -140,7 +140,7 @@ func NewMessenger(w *was.Server) *Messenger {
 	})
 
 	w.RegisterPayload(AppMessenger, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
-		obj, err := ctx.Srv.TAO.ObjectGet(ref)
+		obj, err := ctx.Reader().ObjectGet(ref)
 		if err != nil {
 			return nil, err
 		}
@@ -176,6 +176,14 @@ func (a *Messenger) appendToMailbox(ctx *was.Ctx, member socialgraph.UserID, ref
 }
 
 // mailboxSince reads messages with seq > since, oldest first.
+//
+// This read deliberately stays on the TAO LEADER, not the region-local
+// follower (ctx.Reader()): it is the reliable catch-up path that closes
+// delivery gaps after failover, and a follower stale by one replication
+// lag could silently drop the most recent messages — turning the gap-free
+// resume guarantee into a best-effort one. Payload resolution of
+// individual (immutable, created-once) message objects is safe on
+// followers; the authoritative mailbox index is not.
 func (a *Messenger) mailboxSince(ctx *was.Ctx, owner socialgraph.UserID, since uint64) []MessagePayload {
 	a.mu.Lock()
 	mb := a.mailbox[owner]

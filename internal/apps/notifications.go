@@ -69,7 +69,7 @@ func NewWebsiteNotifications(w *was.Server) *WebsiteNotifications {
 			"to":    strconv.FormatUint(target, 10),
 		})
 		ctx.Srv.TAO.AssocAdd(tao.ObjID(target), "user_notif", ref, ctx.Now, kind)
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: NotifTopic(target),
 			Ref:   uint64(ref),
 			Meta: map[string]string{
@@ -85,7 +85,7 @@ func NewWebsiteNotifications(w *was.Server) *WebsiteNotifications {
 	})
 
 	w.RegisterPayload(AppNotifications, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
-		obj, err := ctx.Srv.TAO.ObjectGet(ref)
+		obj, err := ctx.Reader().ObjectGet(ref)
 		if err != nil {
 			return nil, err
 		}

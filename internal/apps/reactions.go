@@ -63,7 +63,7 @@ func NewLiveVideoReactions(w *was.Server) *LiveVideoReactions {
 		// only an aggregate counter association bump and the event.
 		ctx.Srv.TAO.AssocAdd(tao.ObjID(videoID), tao.AssocType("reaction_"+kind),
 			tao.ObjID(ctx.Viewer), ctx.Now, "")
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: ReactionsTopic(videoID),
 			Meta: map[string]string{
 				"kind":   kind,

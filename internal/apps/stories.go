@@ -57,7 +57,7 @@ func NewStories(w *was.Server) *Stories {
 			"score":   strconv.FormatFloat(score, 'f', 4, 64),
 		})
 		ctx.Srv.TAO.AssocAdd(tao.ObjID(author.ID), "user_story", ref, ctx.Now, "")
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: StoriesTopic(uint64(author.ID)),
 			Ref:   uint64(ref),
 			Meta: map[string]string{
@@ -78,7 +78,7 @@ func NewStories(w *was.Server) *Stories {
 	})
 
 	w.RegisterPayload(AppStories, func(ctx *was.Ctx, ref tao.ObjID, ev pylon.Event) (any, error) {
-		obj, err := ctx.Srv.TAO.ObjectGet(ref)
+		obj, err := ctx.Reader().ObjectGet(ref)
 		if err != nil {
 			return nil, err
 		}

@@ -46,7 +46,7 @@ func NewTypingIndicator(w *was.Server) *TypingIndicator {
 		if err != nil {
 			return nil, err
 		}
-		ctx.Srv.Publish(pylon.Event{
+		ctx.Publish(pylon.Event{
 			Topic: TypingTopic(thread, uint64(ctx.Viewer)),
 			Meta: map[string]string{
 				"uid":    strconv.FormatUint(uint64(ctx.Viewer), 10),

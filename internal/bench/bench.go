@@ -19,6 +19,7 @@ import (
 	"bladerunner/internal/burst"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/pylon"
+	"bladerunner/internal/region"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
 	"bladerunner/internal/trace"
@@ -60,8 +61,37 @@ func benchAdmission(cfg pylon.Config) pylon.Config {
 	return cfg
 }
 
+// newBenchPlane wraps an origin pylon in a two-region replication plane so
+// the publish benchmarks pay the region plane's hot-path cost: origin
+// delivery plus one per-link enqueue. The remote region gets its own pylon
+// with subscribe applied per topic so its (off-goroutine) delivery also
+// rides the cached fan-out path. Replication lag is zero — a lag
+// distribution would make the link worker arm timers, and the worker's
+// allocations count against the benchmark's global 0 allocs/op gate.
+func newBenchPlane(b *testing.B, origin *pylon.Service, topics ...pylon.Topic) *region.Plane {
+	topo, err := region.NewTopology(region.Config{Regions: []string{"east", "west"}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote := pylon.MustNew(benchAdmission(pylon.DefaultConfig()), NewKV())
+	for _, topic := range topics {
+		s := NewSink("west-" + string(topic))
+		remote.RegisterHost(s)
+		if err := remote.Subscribe(topic, s.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plane, err := region.NewPlane(topo, nil, map[string]*pylon.Service{"east": origin, "west": remote})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(plane.Close)
+	return plane
+}
+
 // PylonPublish measures one publish to a single-subscriber topic — the
-// per-event floor of the fan-out path — with admission control enabled.
+// per-event floor of the fan-out path — with admission control enabled and
+// the event routed through the two-region replication plane.
 func PylonPublish(b *testing.B) {
 	pyl := pylon.MustNew(benchAdmission(pylon.DefaultConfig()), NewKV())
 	sink := NewSink("sink")
@@ -69,10 +99,11 @@ func PylonPublish(b *testing.B) {
 	if err := pyl.Subscribe("/bench", "sink"); err != nil {
 		b.Fatal(err)
 	}
+	plane := newBenchPlane(b, pyl, "/bench")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pyl.Publish(pylon.Event{Topic: "/bench", Ref: uint64(i)}); err != nil {
+		if _, err := plane.Publish(pylon.Event{Topic: "/bench", Ref: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -89,6 +120,8 @@ func HotTopicFanout(b *testing.B) {
 
 // HotTopicFanoutConfig is HotTopicFanout with a caller-supplied Pylon
 // config, so the hotfanout experiment can ablate the subscriber cache.
+// Publishes route through the two-region plane; the asserted fan-out count
+// is the synchronous origin-region one.
 func HotTopicFanoutConfig(b *testing.B, cfg pylon.Config) {
 	const subscribers = 1000
 	pyl := pylon.MustNew(cfg, NewKV())
@@ -100,10 +133,11 @@ func HotTopicFanoutConfig(b *testing.B, cfg pylon.Config) {
 			b.Fatal(err)
 		}
 	}
+	plane := newBenchPlane(b, pyl, topic)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n, err := pyl.Publish(pylon.Event{Topic: topic, Ref: uint64(i)})
+		n, err := plane.Publish(pylon.Event{Topic: topic, Ref: uint64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}

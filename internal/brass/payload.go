@@ -45,7 +45,7 @@ func (h *Host) fetchPayload(app string, viewer socialgraph.UserID, ev pylon.Even
 	h.WASFetches.Inc()
 	if h.payloadCache == nil {
 		sp.Annotate("cache", "disabled")
-		return h.was.FetchPayload(app, viewer, ev)
+		return h.was.FetchPayloadIn(h.cfg.Region, app, viewer, ev)
 	}
 	// The privacy check is mandatory per viewer; only the TAO read below
 	// is shared.
@@ -61,7 +61,9 @@ func (h *Host) fetchPayload(app string, viewer socialgraph.UserID, ev pylon.Even
 	}
 	h.PayloadCacheMisses.Inc()
 	b, err, joined := h.payloadFlight.Do(key, func() ([]byte, error) {
-		b, err := h.was.ResolvePayload(app, ev)
+		// Payload reads come from the host's region-local TAO tier; only
+		// the privacy check above needed the authoritative graph.
+		b, err := h.was.ResolvePayloadIn(h.cfg.Region, app, ev)
 		if err == nil {
 			h.payloadCache.Put(key, b)
 		}

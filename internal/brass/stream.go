@@ -328,8 +328,10 @@ func (rt *Runtime) ResolveSubscription(viewer socialgraph.UserID, expr string) (
 }
 
 // Query issues a read query to the WAS as viewer (used by apps that need
-// backend state, e.g. Messenger's mailbox catch-up reads).
+// backend state, e.g. Messenger's mailbox catch-up reads). The query runs
+// in the host's region so payload-style reads hit the region-local TAO
+// tier; queries that must be authoritative read the leader explicitly.
 func (rt *Runtime) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
 	rt.host.WASFetches.Inc()
-	return rt.host.was.Query(viewer, expr)
+	return rt.host.was.QueryIn(rt.host.cfg.Region, viewer, expr)
 }

@@ -10,6 +10,7 @@ import (
 	"bladerunner/internal/edge"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/pylon"
+	"bladerunner/internal/region"
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
@@ -48,6 +49,14 @@ type Config struct {
 	// spans into the plane's per-process collectors. nil (the default)
 	// leaves all tracers nil — the zero-overhead configuration.
 	Trace *trace.Plane
+	// Geo, when set, activates the multi-region plane: each region gets
+	// its own Pylon cluster (over its own subscription KV nodes) and TAO
+	// follower; devices are homed by user id; cross-region dials pay the
+	// topology's modeled latency and respect link state; and mutations
+	// publish region-locally then replicate outward over per-link workers.
+	// Geo.Regions defaults to Config.Regions when empty. nil (the default)
+	// keeps the single shared Pylon — the pre-region behaviour.
+	Geo *region.Config
 }
 
 // OverloadConfig selects the cluster-wide overload-control posture; the
@@ -93,7 +102,17 @@ type Cluster struct {
 	POPs     []*edge.Proxy
 	Sched    sim.Scheduler
 
+	// Multi-region plane (nil/empty unless Cfg.Geo is set). Pylon above
+	// remains the PRIMARY region's service so single-region callers work
+	// unchanged; RegionPylons holds every region's.
+	Topo         *region.Topology
+	Gate         *region.Gate
+	Plane        *region.Plane
+	RegionPylons map[string]*pylon.Service
+	Followers    map[string]*tao.Follower
+
 	popTargets []string
+	popRegion  map[string]string // pop id → region (Geo only)
 }
 
 // NewCluster builds and wires a deployment. sched may be nil for the wall
@@ -109,6 +128,24 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		sched = sim.RealClock{}
 	}
 
+	// Geo mode: regions come from the region config (defaulted from the
+	// cluster's), and the live topology drives routing, dial gating, and
+	// replication below.
+	var topo *region.Topology
+	if cfg.Geo != nil {
+		g := *cfg.Geo
+		if len(g.Regions) == 0 {
+			g.Regions = cfg.Regions
+		}
+		cfg.Regions = g.Regions
+		cfg.Geo = &g
+		var err error
+		topo, err = region.NewTopology(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	graph, err := socialgraph.Generate(cfg.Graph)
 	if err != nil {
 		return nil, err
@@ -118,32 +155,68 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Subscription KV: nodes spread across regions.
-	var kvNodes []*kvstore.Node
-	for _, region := range cfg.Regions {
-		for i := 0; i < cfg.KVNodesPerRegion; i++ {
-			kvNodes = append(kvNodes, kvstore.NewNode(
-				fmt.Sprintf("kv-%s-%d", region, i), region))
+	// Subscription KV + Pylon. Single-region mode shares one Pylon
+	// cluster whose KV nodes spread across region labels; Geo mode gives
+	// each region its OWN KV cluster and Pylon service, joined only by
+	// the replication plane — a region-cut cannot take another region's
+	// pub/sub tier with it.
+	newKV := func(regions []string) (*kvstore.Cluster, error) {
+		var nodes []*kvstore.Node
+		for _, r := range regions {
+			for i := 0; i < cfg.KVNodesPerRegion; i++ {
+				nodes = append(nodes, kvstore.NewNode(
+					fmt.Sprintf("kv-%s-%d", r, i), r))
+			}
 		}
+		replicas := cfg.KVReplicas
+		if replicas > len(nodes) {
+			replicas = len(nodes)
+		}
+		return kvstore.NewCluster(nodes, replicas)
 	}
-	replicas := cfg.KVReplicas
-	if replicas > len(kvNodes) {
-		replicas = len(kvNodes)
-	}
-	kv, err := kvstore.NewCluster(kvNodes, replicas)
-	if err != nil {
-		return nil, err
-	}
-	pyl, err := pylon.New(cfg.Pylon, kv)
-	if err != nil {
-		return nil, err
+
+	var (
+		kv           *kvstore.Cluster
+		pyl          *pylon.Service
+		regionPylons map[string]*pylon.Service
+	)
+	if topo == nil {
+		kv, err = newKV(cfg.Regions)
+		if err != nil {
+			return nil, err
+		}
+		pyl, err = pylon.New(cfg.Pylon, kv)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		regionPylons = make(map[string]*pylon.Service, len(cfg.Regions))
+		for _, r := range cfg.Regions {
+			rkv, err := newKV([]string{r})
+			if err != nil {
+				return nil, err
+			}
+			rp, err := pylon.New(cfg.Pylon, rkv)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Trace != nil {
+				rp.Tracer = cfg.Trace.Tracer("pylon-" + r)
+			}
+			regionPylons[r] = rp
+			if r == topo.Primary() {
+				kv, pyl = rkv, rp
+			}
+		}
 	}
 
 	w := was.New(store, graph, pyl, sched)
 	if cfg.Trace != nil {
 		w.Sampler = cfg.Trace.Sampler
 		w.Tracer = cfg.Trace.Tracer("was")
-		pyl.Tracer = cfg.Trace.Tracer("pylon")
+		if topo == nil {
+			pyl.Tracer = cfg.Trace.Tracer("pylon")
+		}
 	}
 	suite := apps.NewSuite(w)
 
@@ -160,56 +233,136 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		Sched:    sched,
 	}
 
-	// BRASS hosts, registered on the network and with Pylon.
+	if topo != nil {
+		c.Topo = topo
+		c.Gate = region.NewGate(topo, sched)
+		c.RegionPylons = regionPylons
+		plane, err := region.NewPlane(topo, sched, regionPylons)
+		if err != nil {
+			return nil, err
+		}
+		c.Plane = plane
+		// Mutations publish through the plane: origin region first, then
+		// replicated outward per link.
+		w.Fanout = plane
+		// Each non-primary region reads TAO through its own follower,
+		// invalidated by leader writes after the link's replication lag.
+		c.Followers = make(map[string]*tao.Follower)
+		for _, r := range cfg.Regions {
+			if r == topo.Primary() {
+				continue
+			}
+			f := tao.NewFollower(store, sched, 0)
+			store.AttachFollower(r, f, topo.ReplLagDist(topo.Primary(), r),
+				sched, cfg.Geo.Seed^0x7a0)
+			w.RegisterReader(r, f)
+			c.Followers[r] = f
+		}
+		c.popRegion = make(map[string]string)
+	}
+
+	// BRASS hosts, registered on the network and with their region's
+	// Pylon.
 	brassByRegion := make(map[string][]string)
-	for _, region := range cfg.Regions {
+	for _, r := range cfg.Regions {
+		hostPylon := pyl
+		if topo != nil {
+			hostPylon = regionPylons[r]
+		}
 		for i := 0; i < cfg.BRASSHostsPerRegion; i++ {
-			id := fmt.Sprintf("brass-%s-%d", region, i)
+			id := fmt.Sprintf("brass-%s-%d", r, i)
 			h := brass.NewHost(brass.HostConfig{
-				ID: id, Region: region, StickyRouting: cfg.StickyRouting,
+				ID: id, Region: r, StickyRouting: cfg.StickyRouting,
 				Tracer:             cfg.Trace.Tracer(id),
 				LoopQueueDepth:     cfg.Overload.LoopQueueDepth,
 				DeliverRate:        cfg.Overload.DeliverRate,
 				DeliverBurst:       cfg.Overload.DeliverBurst,
 				StreamDeliverRate:  cfg.Overload.StreamDeliverRate,
 				StreamDeliverBurst: cfg.Overload.StreamDeliverBurst,
-			}, pyl, w, sched)
+			}, hostPylon, w, sched)
 			suite.RegisterBRASS(h)
 			c.Hosts = append(c.Hosts, h)
-			brassByRegion[region] = append(brassByRegion[region], id)
+			brassByRegion[r] = append(brassByRegion[r], id)
 			host := h
 			c.Net.Register(id, func(rwc io.ReadWriteCloser) {
 				host.AcceptSession(id+"-in", rwc)
 			})
-			c.Registry.Set("brass/"+id+"/region", region)
+			if c.Gate != nil {
+				c.Gate.RegisterTarget(id, r)
+			}
+			c.Registry.Set("brass/"+id+"/region", r)
 		}
 	}
 
-	// Reverse proxies: route streams to BRASS hosts in their region,
-	// honoring sticky headers.
+	// Reverse proxies: route streams to BRASS hosts, honoring sticky
+	// headers. Geo mode prefers the proxy's home region and fails over to
+	// healthy remote regions through the dial gate; single-region mode
+	// keeps the region-local round robin.
 	var proxyTargets []string
-	for _, region := range cfg.Regions {
+	for _, r := range cfg.Regions {
 		for i := 0; i < cfg.ProxiesPerRegion; i++ {
-			id := fmt.Sprintf("proxy-%s-%d", region, i)
-			router := edge.StickyRouter{
-				Fallback: edge.NewRoundRobinRouter(brassByRegion[region]...),
+			id := fmt.Sprintf("proxy-%s-%d", r, i)
+			var router edge.Router
+			var dialer edge.Dialer = c.Net
+			if topo != nil {
+				rr := region.NewRouter(topo, r)
+				for _, br := range cfg.Regions {
+					for _, t := range brassByRegion[br] {
+						rr.AddTarget(br, t)
+					}
+				}
+				router = edge.StickyRouter{Fallback: rr}
+				dialer = c.Gate.DialerFor(r, c.Net)
+			} else {
+				router = edge.StickyRouter{
+					Fallback: edge.NewRoundRobinRouter(brassByRegion[r]...),
+				}
 			}
-			p := edge.NewProxy(id, c.Net, router)
+			p := edge.NewProxy(id, dialer, router)
 			p.Tracer = cfg.Trace.Tracer(id)
 			c.Proxies = append(c.Proxies, p)
 			proxyTargets = append(proxyTargets, id)
 			c.Net.Register(id, p.Accept)
+			if c.Gate != nil {
+				c.Gate.RegisterTarget(id, r)
+			}
 		}
 	}
 
-	// POPs: route to reverse proxies.
+	// POPs: route to reverse proxies. Geo mode homes POPs round-robin
+	// across regions and routes region-locally first.
+	proxiesByRegion := make(map[string][]string)
+	for _, t := range proxyTargets {
+		if c.Gate != nil {
+			proxiesByRegion[c.Gate.RegionOf(t)] = append(proxiesByRegion[c.Gate.RegionOf(t)], t)
+		}
+	}
 	for i := 0; i < cfg.POPs; i++ {
 		id := fmt.Sprintf("pop-%d", i)
-		p := edge.NewProxy(id, c.Net, edge.NewRoundRobinRouter(proxyTargets...))
+		var router edge.Router
+		var dialer edge.Dialer = c.Net
+		if topo != nil {
+			popHome := cfg.Regions[i%len(cfg.Regions)]
+			rr := region.NewRouter(topo, popHome)
+			for pr, ts := range proxiesByRegion {
+				for _, t := range ts {
+					rr.AddTarget(pr, t)
+				}
+			}
+			router = rr
+			dialer = c.Gate.DialerFor(popHome, c.Net)
+			c.popRegion[id] = popHome
+		} else {
+			router = edge.NewRoundRobinRouter(proxyTargets...)
+		}
+		p := edge.NewProxy(id, dialer, router)
 		p.Tracer = cfg.Trace.Tracer(id)
 		c.POPs = append(c.POPs, p)
 		c.popTargets = append(c.popTargets, id)
 		c.Net.Register(id, p.Accept)
+		if c.Gate != nil {
+			c.Gate.RegisterTarget(id, c.popRegion[id])
+		}
 	}
 	return c, nil
 }
@@ -228,21 +381,61 @@ func (c *Cluster) POPTargets() []string {
 	return append([]string(nil), c.popTargets...)
 }
 
-// NewDevice builds a device for user wired to this cluster's POPs.
+// POPTargetsFor returns POP names ordered for a device homed in region:
+// home-region POPs first, everything else after — the device's natural
+// rotation order reaches a cross-region POP only once home is exhausted.
+// Without a region plane it returns POPTargets unchanged.
+func (c *Cluster) POPTargetsFor(region string) []string {
+	if c.popRegion == nil {
+		return c.POPTargets()
+	}
+	out := make([]string, 0, len(c.popTargets))
+	for _, t := range c.popTargets {
+		if c.popRegion[t] == region {
+			out = append(out, t)
+		}
+	}
+	for _, t := range c.popTargets {
+		if c.popRegion[t] != region {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HomeRegion returns the region user's devices are homed in ("" without a
+// region plane).
+func (c *Cluster) HomeRegion(user socialgraph.UserID) string {
+	if c.Topo == nil {
+		return ""
+	}
+	return c.Topo.Home(uint64(user))
+}
+
+// NewDevice builds a device for user wired to this cluster's POPs. Under
+// a region plane the device is homed by user id: its reads hit its home
+// region's TAO follower, its POP preference order starts at home, and its
+// cross-region dials go through the gate.
 func (c *Cluster) NewDevice(user socialgraph.UserID) *device.Device {
-	return device.New(device.Config{
-		User:   user,
-		POPs:   c.POPTargets(),
-		Tracer: c.Cfg.Trace.Tracer(fmt.Sprintf("device-%d", user)),
-	}, c.Net, c.WAS, c.Sched)
+	return c.NewDeviceVia(c.Net, device.Config{User: user})
 }
 
 // NewDeviceVia builds a device that reaches the cluster's POPs through the
 // given dialer — e.g. a faults.FaultNetwork wrapping this cluster's Net, so
 // chaos tests can inject faults on the device's last mile.
+//
+// Device dials are deliberately NOT gated by the region topology: devices
+// reach POPs over the public internet, not the inter-region backbone, so a
+// region-cut kills the region's POPs (they are registered targets of the
+// cut) but never strands a device — it rotates to a healthy region's POP
+// and attaches there. Only datacenter-to-datacenter hops (POP→proxy,
+// proxy→BRASS, event replication) ride the gated links.
 func (c *Cluster) NewDeviceVia(dialer edge.Dialer, cfg device.Config) *device.Device {
+	if c.Topo != nil && cfg.Region == "" {
+		cfg.Region = c.Topo.Home(uint64(cfg.User))
+	}
 	if len(cfg.POPs) == 0 {
-		cfg.POPs = c.POPTargets()
+		cfg.POPs = c.POPTargetsFor(cfg.Region)
 	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = c.Cfg.Trace.Tracer(fmt.Sprintf("device-%d", cfg.User))
@@ -250,7 +443,8 @@ func (c *Cluster) NewDeviceVia(dialer edge.Dialer, cfg device.Config) *device.De
 	return device.New(cfg, dialer, c.WAS, c.Sched)
 }
 
-// Close tears the deployment down: POPs, proxies, then hosts.
+// Close tears the deployment down: POPs, proxies, hosts, then the
+// replication plane's link workers.
 func (c *Cluster) Close() {
 	for _, p := range c.POPs {
 		p.Close()
@@ -260,6 +454,9 @@ func (c *Cluster) Close() {
 	}
 	for _, h := range c.Hosts {
 		h.Close()
+	}
+	if c.Plane != nil {
+		c.Plane.Close()
 	}
 }
 

@@ -29,6 +29,11 @@ var ErrNotConnected = errors.New("device: not connected")
 type Config struct {
 	// User is the identity streams subscribe as.
 	User socialgraph.UserID
+	// Region is the device's home region: its GraphQL reads are served by
+	// that region's TAO tier and its mutations commit tagged with it, so
+	// the region plane can replicate them outward. Empty means the primary
+	// region (single-region clusters leave it unset).
+	Region string
 	// POPs are the edge targets the device can connect through, in
 	// preference order. On failure it rotates to the next.
 	POPs []string
@@ -211,15 +216,18 @@ func (d *Device) Close() {
 	}
 }
 
-// Query issues an initial GraphQL read to the WAS (step 1 of Fig 3).
+// Query issues an initial GraphQL read to the WAS (step 1 of Fig 3),
+// served in the device's home region.
 func (d *Device) Query(expr string) ([]byte, error) {
 	d.Polls.Inc()
-	return d.was.Query(d.cfg.User, expr)
+	return d.was.QueryIn(d.cfg.Region, d.cfg.User, expr)
 }
 
-// Mutate issues a GraphQL mutation to the WAS (Fig 4).
+// Mutate issues a GraphQL mutation to the WAS (Fig 4). The mutation is
+// tagged with the device's home region so its events publish into the
+// region-local Pylon first and replicate outward.
 func (d *Device) Mutate(expr string) ([]byte, error) {
-	return d.was.Mutate(d.cfg.User, expr)
+	return d.was.MutateIn(d.cfg.Region, d.cfg.User, expr)
 }
 
 // Subscribe opens a request-stream for app with the given subscription
@@ -327,6 +335,12 @@ func (d *Device) reconnect() {
 	d.mu.Unlock()
 
 	for _, st := range streams {
+		// A successful attach — possibly to a different POP in a different
+		// region after a geo-failover — starts the per-stream retry clock
+		// fresh. Without this, a stream whose retries escalated against the
+		// dead region carries that saturated delay into its FIRST retry on
+		// the healthy one, stretching failover by up to Backoff.Cap.
+		st.bo.Reset()
 		st.resubscribe(cli)
 	}
 }
@@ -540,7 +554,7 @@ func (st *Stream) runResync() {
 	st.mu.Unlock()
 	d := st.dev
 	d.sched.After(0, func() {
-		out, err := d.was.PointQuery(d.cfg.User, build(seq))
+		out, err := d.was.PointQueryIn(d.cfg.Region, d.cfg.User, build(seq))
 		st.mu.Lock()
 		again := st.resyncAgain
 		st.resyncAgain = false
@@ -560,6 +574,10 @@ func (st *Stream) runResync() {
 		}
 	})
 }
+
+// RetryBackoff exposes the stream's resubscribe backoff (attempt count,
+// retry/saturation counters) for tests asserting post-failover pacing.
+func (st *Stream) RetryBackoff() *faults.Backoff { return st.bo }
 
 // LastSeq returns the highest payload sequence number received.
 func (st *Stream) LastSeq() uint64 {

@@ -142,6 +142,46 @@ func (n *PipeNetwork) SetDown(target string, down bool) {
 	}
 }
 
+// SetDownGroup flips the down state of many targets atomically: every down
+// flag changes under ONE lock acquisition, so no concurrent Dial or
+// DownStates call can observe a half-cut group — the whole region fails (or
+// heals) as one event. The established connections of newly-down targets
+// are severed after the flags are published, exactly as SetDown does.
+//
+// A region-cut implemented as a loop of per-target SetDown calls has a
+// window where some of the region's targets refuse dials and others still
+// accept them; routing decisions made inside that window land streams on
+// hosts that are about to die. SetDownGroup closes the window.
+func (n *PipeNetwork) SetDownGroup(down bool, targets ...string) {
+	n.mu.Lock()
+	var pairs []*pipePair
+	for _, target := range targets {
+		n.down[target] = down
+		if down {
+			for pp := range n.conns[target] {
+				pairs = append(pairs, pp)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, pp := range pairs {
+		pp.sever()
+	}
+}
+
+// DownStates returns the down flags of targets as one atomic snapshot —
+// all flags are read under a single lock acquisition, so a concurrent
+// SetDownGroup is observed either entirely or not at all.
+func (n *PipeNetwork) DownStates(targets ...string) []bool {
+	out := make([]bool, len(targets))
+	n.mu.Lock()
+	for i, target := range targets {
+		out[i] = n.down[target]
+	}
+	n.mu.Unlock()
+	return out
+}
+
 // Dial implements Dialer.
 func (n *PipeNetwork) Dial(target string) (io.ReadWriteCloser, error) {
 	n.mu.Lock()

@@ -195,6 +195,12 @@ func (r *relay) connect(avoid map[string]bool) error {
 	if err != nil {
 		return err
 	}
+	// Record the routing choice before dialing so a failed attempt is
+	// avoidable on the next repair pass (a sticky upstream in a dead
+	// region would otherwise be retried forever).
+	r.mu.Lock()
+	r.target = target
+	r.mu.Unlock()
 	u, err := r.p.upstreamFor(target)
 	if err != nil {
 		return fmt.Errorf("dial %s: %w", target, err)
@@ -205,7 +211,6 @@ func (r *relay) connect(avoid map[string]bool) error {
 	}
 	r.mu.Lock()
 	r.up = st
-	r.target = target
 	r.mu.Unlock()
 	return nil
 }
@@ -350,8 +355,11 @@ func (r *relay) startRelaySpan(batch []burst.Delta) trace.Span {
 	return sp
 }
 
-// repair re-routes and re-subscribes the stream using the stored request,
-// avoiding the failed target first and widening if needed.
+// repair re-routes and re-subscribes the stream using the stored request.
+// Failed targets accumulate into the avoid set so successive attempts fan
+// out across the healthy fleet (a sticky target in a dead region must not
+// be retried on every pass); the final attempt widens to every target
+// again, in case an avoided one has recovered.
 func (r *relay) repair() bool {
 	avoid := map[string]bool{r.targetName(): true}
 	for attempt := 0; attempt < r.p.MaxRepairAttempts; attempt++ {
@@ -361,9 +369,16 @@ func (r *relay) repair() bool {
 		if err := r.connect(avoid); err == nil {
 			return true
 		}
-		// Widen the search: after the first failed pass, allow any
-		// target again (the failed one may have recovered).
-		avoid = nil
+		if attempt == r.p.MaxRepairAttempts-2 {
+			avoid = nil // last attempt: the avoided targets may have recovered
+			continue
+		}
+		if t := r.targetName(); t != "" {
+			if avoid == nil {
+				avoid = make(map[string]bool)
+			}
+			avoid[t] = true
+		}
 	}
 	return false
 }
@@ -379,8 +394,18 @@ func (h proxyHandler) OnSubscribe(down *burst.ServerStream, sub burst.Subscribe)
 	down.State = r
 
 	if err := r.connect(nil); err != nil {
-		_ = down.Terminate(fmt.Sprintf("no upstream: %v", err))
-		return
+		// The first routing choice failed — e.g. a sticky upstream in a
+		// dead region, or a cross-region link that just went down. Run
+		// the repair loop (avoid the failed target, then widen) instead
+		// of terminating: the stream should land on ANY healthy upstream,
+		// which is what makes cross-region failover of resubscribed
+		// streams work at all.
+		if !r.repair() {
+			p.RepairFailures.Inc()
+			_ = down.Terminate(fmt.Sprintf("no upstream: %v", err))
+			return
+		}
+		p.Reconnects.Inc()
 	}
 	p.mu.Lock()
 	p.relays[r] = true

@@ -352,7 +352,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment including the live switchover")
 	}
 	results := All(2)
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	ids := map[string]bool{}

@@ -103,5 +103,6 @@ func All(seed int64) []Result {
 		HotFanout(seed),
 		TraceHops(seed),
 		OverloadStorm(seed),
+		GeoFailover(seed),
 	}
 }

@@ -225,6 +225,35 @@ func (n *FaultNetwork) Heal(target string) {
 	n.inner.SetDown(target, false)
 }
 
+// CutGroup takes every target hard down as ONE event: the inner network's
+// down flags flip under a single lock acquisition (no half-cut window —
+// see edge.PipeNetwork.SetDownGroup), then the severed pipes and the
+// fault-plane wrappers are closed. One injected cut is counted per target
+// so fault-volume accounting matches the per-target Cut path.
+func (n *FaultNetwork) CutGroup(targets ...string) {
+	n.InjectedCuts.Add(int64(len(targets)))
+	n.inner.SetDownGroup(true, targets...)
+	n.mu.Lock()
+	var conns []*faultConn
+	for _, target := range targets {
+		if l := n.links[target]; l != nil {
+			for c := range l.conns {
+				conns = append(conns, c)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// HealGroup makes every target dialable again atomically — the heal is one
+// event, mirroring CutGroup.
+func (n *FaultNetwork) HealGroup(targets ...string) {
+	n.inner.SetDownGroup(false, targets...)
+}
+
 // ClearFaults removes latency, drop, blackhole, and stall state from
 // target (it does not Heal a Cut).
 func (n *FaultNetwork) ClearFaults(target string) {

@@ -68,6 +68,11 @@ type Event struct {
 	Meta map[string]string
 	// Published is the publish timestamp.
 	Published time.Time
+	// Origin is the datacenter region the mutation committed in. The
+	// region plane fans the event out to its origin region's Pylon
+	// synchronously and replicates it to every other region over the
+	// modeled inter-region links; empty means the primary region.
+	Origin string
 	// Trace is the sampled trace context stamped by the WAS (zero when the
 	// mutation was not sampled). Pylon and BRASS propagate it unchanged.
 	Trace trace.ID

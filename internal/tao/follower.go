@@ -139,6 +139,12 @@ func (f *Follower) scheduleInvalidateAssoc(key assocKey) {
 	})
 }
 
+// Both tiers satisfy the region-local read surface.
+var (
+	_ Reader = (*Store)(nil)
+	_ Reader = (*Follower)(nil)
+)
+
 // HitRate returns the cache hit fraction, or 0 with no lookups.
 func (f *Follower) HitRate() float64 {
 	h, m := f.Hits.Value(), f.Misses.Value()

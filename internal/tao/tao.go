@@ -21,6 +21,7 @@ package tao
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -28,6 +29,15 @@ import (
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/sim"
 )
+
+// Reader is the read surface applications use for payload resolution and
+// range queries. Both the leader Store and a regional Follower satisfy it,
+// so the WAS can route reads to a region-local replica (with its modeled
+// replication lag) while writes always go to the leader.
+type Reader interface {
+	ObjectGet(id ObjID) (Object, error)
+	AssocRange(id1 ObjID, typ AssocType, offset, limit int) []Assoc
+}
 
 // ObjID identifies an object (node) in the graph store.
 type ObjID uint64
@@ -86,6 +96,21 @@ type Store struct {
 	idCtr  ObjID
 
 	stats *Stats
+
+	// replMu guards the attached regional followers. Every committed write
+	// schedules an invalidation on each follower after its sampled
+	// replication lag — TAO's asynchronous cross-region invalidation.
+	replMu  sync.Mutex
+	repl    []replicaLink
+	replRng *rand.Rand
+}
+
+// replicaLink is one attached regional follower and its invalidation lag.
+type replicaLink struct {
+	region string
+	f      *Follower
+	lag    sim.Dist
+	sched  sim.Scheduler
 }
 
 type assocKey struct {
@@ -135,6 +160,76 @@ func MustNewStore(cfg Config, clock sim.Clock) *Store {
 // Stats returns the store's query statistics.
 func (s *Store) Stats() *Stats { return s.stats }
 
+// AttachFollower registers a regional follower for write invalidation:
+// every committed write on this leader invalidates f's cached copy after a
+// lag sampled from dist (nil or zero-mean = immediately). sched drives the
+// delayed invalidations; seed makes the lag sampling deterministic.
+func (s *Store) AttachFollower(region string, f *Follower, lag sim.Dist, sched sim.Scheduler, seed int64) {
+	if sched == nil {
+		sched = sim.RealClock{}
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.replRng == nil {
+		s.replRng = rand.New(rand.NewSource(seed))
+	}
+	s.repl = append(s.repl, replicaLink{region: region, f: f, lag: lag, sched: sched})
+}
+
+// replTask is one scheduled follower invalidation.
+type replTask struct {
+	f     *Follower
+	d     time.Duration
+	sched sim.Scheduler
+}
+
+// replSnapshot samples each attached follower's lag under replMu and
+// returns the invalidation schedule; nil when no followers are attached
+// (the common single-region case pays one mutex round-trip per write).
+func (s *Store) replSnapshot() []replTask {
+	s.replMu.Lock()
+	if len(s.repl) == 0 {
+		s.replMu.Unlock()
+		return nil
+	}
+	tasks := make([]replTask, 0, len(s.repl))
+	for _, r := range s.repl {
+		var d time.Duration
+		if r.lag != nil {
+			d = r.lag.Sample(s.replRng)
+		}
+		tasks = append(tasks, replTask{f: r.f, d: d, sched: r.sched})
+	}
+	s.replMu.Unlock()
+	return tasks
+}
+
+// invalidateFollowersObj propagates an object write to every attached
+// follower after its sampled replication lag.
+func (s *Store) invalidateFollowersObj(id ObjID) {
+	for _, t := range s.replSnapshot() {
+		if t.d <= 0 {
+			t.f.InvalidateObject(id)
+			continue
+		}
+		f := t.f
+		t.sched.After(t.d, func() { f.InvalidateObject(id) })
+	}
+}
+
+// invalidateFollowersAssoc propagates an association-list write to every
+// attached follower after its sampled replication lag.
+func (s *Store) invalidateFollowersAssoc(id1 ObjID, typ AssocType) {
+	for _, t := range s.replSnapshot() {
+		if t.d <= 0 {
+			t.f.InvalidateAssoc(id1, typ)
+			continue
+		}
+		f := t.f
+		t.sched.After(t.d, func() { f.InvalidateAssoc(id1, typ) })
+	}
+}
+
 func (s *Store) shardFor(id ObjID) *shard {
 	// Fibonacci hashing spreads sequential IDs across shards.
 	h := uint64(id) * 0x9E3779B97F4A7C15
@@ -182,9 +277,9 @@ func (s *Store) ObjectGet(id ObjID) (Object, error) {
 func (s *Store) ObjectUpdate(id ObjID, data map[string]string) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	obj, ok := sh.objects[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("object %d: %w", id, ErrNotFound)
 	}
 	if obj.Data == nil {
@@ -194,7 +289,9 @@ func (s *Store) ObjectUpdate(id ObjID, data map[string]string) error {
 		obj.Data[k] = v
 	}
 	obj.Version++
+	sh.mu.Unlock()
 	s.stats.recordWrite(1)
+	s.invalidateFollowersObj(id)
 	return nil
 }
 
@@ -203,12 +300,14 @@ func (s *Store) ObjectUpdate(id ObjID, data map[string]string) error {
 func (s *Store) ObjectDelete(id ObjID) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.objects[id]; !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("object %d: %w", id, ErrNotFound)
 	}
 	delete(sh.objects, id)
+	sh.mu.Unlock()
 	s.stats.recordWrite(1)
+	s.invalidateFollowersObj(id)
 	return nil
 }
 
@@ -218,22 +317,26 @@ func (s *Store) AssocAdd(id1 ObjID, typ AssocType, id2 ObjID, t time.Time, data 
 	sh := s.shardFor(id1)
 	key := assocKey{id1, typ}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	lst := sh.assocs[key]
 	// Replace if present.
+	replaced := false
 	for i := range lst {
 		if lst[i].ID2 == id2 {
 			lst[i].Time = t
 			lst[i].Data = data
 			sortAssocsDesc(lst)
-			s.stats.recordWrite(1)
-			return
+			replaced = true
+			break
 		}
 	}
-	lst = append(lst, Assoc{ID1: id1, Type: typ, ID2: id2, Time: t, Data: data})
-	sortAssocsDesc(lst)
-	sh.assocs[key] = lst
+	if !replaced {
+		lst = append(lst, Assoc{ID1: id1, Type: typ, ID2: id2, Time: t, Data: data})
+		sortAssocsDesc(lst)
+		sh.assocs[key] = lst
+	}
+	sh.mu.Unlock()
 	s.stats.recordWrite(1)
+	s.invalidateFollowersAssoc(id1, typ)
 }
 
 // AssocDelete removes the association (id1, typ, id2).
@@ -241,15 +344,17 @@ func (s *Store) AssocDelete(id1 ObjID, typ AssocType, id2 ObjID) error {
 	sh := s.shardFor(id1)
 	key := assocKey{id1, typ}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	lst := sh.assocs[key]
 	for i := range lst {
 		if lst[i].ID2 == id2 {
 			sh.assocs[key] = append(lst[:i], lst[i+1:]...)
+			sh.mu.Unlock()
 			s.stats.recordWrite(1)
+			s.invalidateFollowersAssoc(id1, typ)
 			return nil
 		}
 	}
+	sh.mu.Unlock()
 	return fmt.Errorf("assoc (%d,%s,%d): %w", id1, typ, id2, ErrNotFound)
 }
 

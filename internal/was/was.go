@@ -33,6 +33,33 @@ type Ctx struct {
 	Srv    *Server
 	Viewer socialgraph.UserID // 0 for system operations
 	Now    time.Time
+	// Region is the datacenter region the operation executes in: reads via
+	// Reader() are served by that region's TAO follower (with its modeled
+	// replication lag) and publishes via Publish() carry it as the event
+	// origin. Empty means the primary region / the leader tier.
+	Region string
+}
+
+// Reader returns the TAO read surface for the context's region: the
+// region-local follower when one is registered, else the leader Store.
+// Writes never go through here — resolvers mutate ctx.Srv.TAO directly.
+func (c *Ctx) Reader() tao.Reader { return c.Srv.reader(c.Region) }
+
+// Publish emits an update event stamped with the context's region as its
+// origin, so the region plane replicates it outward from where the
+// mutation committed.
+func (c *Ctx) Publish(ev pylon.Event, rank bool) {
+	if ev.Origin == "" {
+		ev.Origin = c.Region
+	}
+	c.Srv.Publish(ev, rank)
+}
+
+// Publisher is the sink Publish hands events to. A bare *pylon.Service is
+// the single-region configuration; the region plane implements Publisher to
+// fan events out across regional Pylon clusters with replication lag.
+type Publisher interface {
+	Publish(ev pylon.Event) (int, error)
 }
 
 // QueryFunc resolves a read field to a JSON-encodable value.
@@ -58,6 +85,11 @@ type Server struct {
 	Pylon *pylon.Service
 	Sched sim.Scheduler
 
+	// Fanout, when set, receives published events instead of Pylon — the
+	// region plane's cross-region publish path. nil keeps the direct
+	// single-Pylon publish.
+	Fanout Publisher
+
 	// RankDelay models the ML comment-quality ranking latency incurred
 	// before publishing rankable updates (Table 3: 1,790 ms of the LVC
 	// 2,000 ms update→publish time is ranking). Nil disables the delay.
@@ -76,6 +108,7 @@ type Server struct {
 	mutations     map[string]MutationFunc
 	subscriptions map[string]SubscriptionFunc
 	payloads      map[string]PayloadFunc
+	readers       map[string]tao.Reader
 	rng           rngSource
 
 	// Metrics.
@@ -126,6 +159,7 @@ func New(store *tao.Store, graph *socialgraph.Graph, pyl *pylon.Service, sched s
 		mutations:      make(map[string]MutationFunc),
 		subscriptions:  make(map[string]SubscriptionFunc),
 		payloads:       make(map[string]PayloadFunc),
+		readers:        make(map[string]tao.Reader),
 		rng:            rngSource{s: 0x9E3779B97F4A7C15},
 		PublishLatency: metrics.NewHistogram(),
 	}
@@ -160,12 +194,43 @@ func (s *Server) RegisterPayload(app string, fn PayloadFunc) {
 }
 
 func (s *Server) ctx(viewer socialgraph.UserID) *Ctx {
-	return &Ctx{Srv: s, Viewer: viewer, Now: s.Sched.Now()}
+	return s.ctxIn(viewer, "")
+}
+
+func (s *Server) ctxIn(viewer socialgraph.UserID, region string) *Ctx {
+	return &Ctx{Srv: s, Viewer: viewer, Now: s.Sched.Now(), Region: region}
+}
+
+// RegisterReader installs a region-local TAO read replica. Resolvers
+// running in that region (QueryIn, ResolvePayloadIn) read through it via
+// Ctx.Reader; regions without a registered reader fall back to the leader.
+func (s *Server) RegisterReader(region string, r tao.Reader) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readers[region] = r
+}
+
+// reader returns region's read replica, or the leader when none is
+// registered (including the single-region configuration).
+func (s *Server) reader(region string) tao.Reader {
+	s.mu.Lock()
+	r := s.readers[region]
+	s.mu.Unlock()
+	if r != nil {
+		return r
+	}
+	return s.TAO
 }
 
 // Query executes a read expression as viewer and returns the result
 // marshalled to JSON.
 func (s *Server) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
+	return s.QueryIn("", viewer, expr)
+}
+
+// QueryIn is Query executing in a datacenter region: resolver reads go to
+// that region's TAO follower.
+func (s *Server) QueryIn(region string, viewer socialgraph.UserID, expr string) ([]byte, error) {
 	call, err := ParseField(expr)
 	if err != nil {
 		return nil, err
@@ -178,7 +243,7 @@ func (s *Server) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
 	}
 	s.Queries.Inc()
 	s.CPUMillis.Add(cpuQueryRange)
-	v, err := fn(s.ctx(viewer), call)
+	v, err := fn(s.ctxIn(viewer, region), call)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +256,11 @@ func (s *Server) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
 // polls Query models (paper §5's poll-vs-push CPU comparison). The query
 // registry is shared with Query; only the accounting differs.
 func (s *Server) PointQuery(viewer socialgraph.UserID, expr string) ([]byte, error) {
+	return s.PointQueryIn("", viewer, expr)
+}
+
+// PointQueryIn is PointQuery executing in a datacenter region.
+func (s *Server) PointQueryIn(region string, viewer socialgraph.UserID, expr string) ([]byte, error) {
 	call, err := ParseField(expr)
 	if err != nil {
 		return nil, err
@@ -203,7 +273,7 @@ func (s *Server) PointQuery(viewer socialgraph.UserID, expr string) ([]byte, err
 	}
 	s.PointQueries.Inc()
 	s.CPUMillis.Add(cpuQueryPoint)
-	v, err := fn(s.ctx(viewer), call)
+	v, err := fn(s.ctxIn(viewer, region), call)
 	if err != nil {
 		return nil, err
 	}
@@ -212,6 +282,14 @@ func (s *Server) PointQuery(viewer socialgraph.UserID, expr string) ([]byte, err
 
 // Mutate executes a write expression as viewer.
 func (s *Server) Mutate(viewer socialgraph.UserID, expr string) ([]byte, error) {
+	return s.MutateIn("", viewer, expr)
+}
+
+// MutateIn is Mutate executing in a datacenter region: writes still commit
+// on the TAO leader, but events the resolver publishes via Ctx.Publish
+// carry the region as their origin, which is where the region plane's
+// cross-region replication starts.
+func (s *Server) MutateIn(region string, viewer socialgraph.UserID, expr string) ([]byte, error) {
 	call, err := ParseField(expr)
 	if err != nil {
 		return nil, err
@@ -224,7 +302,7 @@ func (s *Server) Mutate(viewer socialgraph.UserID, expr string) ([]byte, error) 
 	}
 	s.Mutations.Inc()
 	s.CPUMillis.Add(cpuMutation)
-	v, err := fn(s.ctx(viewer), call)
+	v, err := fn(s.ctxIn(viewer, region), call)
 	if err != nil {
 		return nil, err
 	}
@@ -273,10 +351,16 @@ func (s *Server) PrivacyCheck(viewer, author socialgraph.UserID) bool {
 // can run the mandatory per-viewer privacy check per stream while sharing a
 // single TAO read for the payload bytes.
 func (s *Server) FetchPayload(app string, viewer socialgraph.UserID, ev pylon.Event) ([]byte, error) {
+	return s.FetchPayloadIn("", app, viewer, ev)
+}
+
+// FetchPayloadIn is FetchPayload with the TAO read served from region's
+// follower — the fetch a regional BRASS host issues stays region-local.
+func (s *Server) FetchPayloadIn(region, app string, viewer socialgraph.UserID, ev pylon.Event) ([]byte, error) {
 	if err := s.CheckEventVisibility(viewer, ev); err != nil {
 		return nil, err
 	}
-	return s.ResolvePayload(app, ev)
+	return s.ResolvePayloadIn(region, app, ev)
 }
 
 // CheckEventVisibility runs the privacy check gating the release of ev's
@@ -306,6 +390,12 @@ func (s *Server) CheckEventVisibility(viewer socialgraph.UserID, ev pylon.Event)
 // have already passed CheckEventVisibility for each viewer the bytes are
 // released to.
 func (s *Server) ResolvePayload(app string, ev pylon.Event) ([]byte, error) {
+	return s.ResolvePayloadIn("", app, ev)
+}
+
+// ResolvePayloadIn is ResolvePayload with the resolver's TAO reads served
+// from region's follower.
+func (s *Server) ResolvePayloadIn(region, app string, ev pylon.Event) ([]byte, error) {
 	sp := s.Tracer.Start(ev.Trace, trace.HopResolve, trace.HopFetch)
 	defer sp.End()
 	sp.Annotate("app", app)
@@ -317,7 +407,7 @@ func (s *Server) ResolvePayload(app string, ev pylon.Event) ([]byte, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("%w: payload for app %q", ErrUnknownField, app)
 	}
-	v, err := fn(s.ctx(0), tao.ObjID(ev.Ref), ev)
+	v, err := fn(s.ctxIn(0, region), tao.ObjID(ev.Ref), ev)
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +433,9 @@ func (s *Server) Publish(ev pylon.Event, rank bool) {
 	}
 	emit := func() {
 		ev.Published = s.Sched.Now()
-		if s.Pylon != nil {
+		if s.Fanout != nil {
+			_, _ = s.Fanout.Publish(ev)
+		} else if s.Pylon != nil {
 			_, _ = s.Pylon.Publish(ev)
 		}
 		s.PublishesEmitted.Inc()
