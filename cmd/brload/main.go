@@ -3,21 +3,31 @@
 // the diurnal curves) so their calibration can be eyeballed or piped into
 // plotting tools.
 //
+// With -scenario it instead drives the megadevice harness: a million-device
+// virtual fleet attached to a live in-process cluster, measuring delivery
+// latency, churn throughput and per-device memory, and writing the report
+// as JSON.
+//
 // Usage:
 //
 //	brload -what areas -n 1000000
 //	brload -what lifetimes -n 100000
 //	brload -what diurnal
 //	brload -what graph -n 10000
+//	brload -scenario diurnal -devices 1000000 -bench-json BENCH_8.json
+//	brload -scenario storm -short
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
+	"bladerunner/internal/megadevice"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/workload"
 )
@@ -26,7 +36,20 @@ func main() {
 	what := flag.String("what", "areas", "areas | lifetimes | diurnal | graph")
 	n := flag.Int("n", 1_000_000, "sample count")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	scenario := flag.String("scenario", "", "run a megadevice scenario instead: diurnal | storm | celebrity")
+	devices := flag.Int("devices", 1_000_000, "scenario: virtual device count")
+	areas := flag.Int("areas", 1000, "scenario: topic/area count")
+	zipfS := flag.Float64("zipf", 1.1, "scenario: area-popularity Zipf exponent")
+	simDur := flag.Duration("sim", 0, "scenario: simulated span (0 = scenario default)")
+	short := flag.Bool("short", false, "scenario: CI smoke sizing (fewer publishes/probes)")
+	benchJSON := flag.String("bench-json", "", "scenario: write the report JSON to this file")
+	maxBPD := flag.Float64("max-bytes-per-device", 0, "scenario: fail if bytes/device exceeds this (0 = no gate)")
 	flag.Parse()
+
+	if *scenario != "" {
+		runScenario(*scenario, *devices, *areas, *zipfS, *seed, *simDur, *short, *benchJSON, *maxBPD)
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	switch *what {
@@ -40,6 +63,52 @@ func main() {
 		showGraph(*seed, *n)
 	default:
 		log.Fatalf("brload: unknown -what %q", *what)
+	}
+}
+
+func runScenario(name string, devices, areas int, zipfS float64, seed int64,
+	simDur time.Duration, short bool, benchJSON string, maxBPD float64) {
+	rep, err := megadevice.Run(megadevice.Options{
+		Scenario:    name,
+		Devices:     devices,
+		Areas:       areas,
+		ZipfS:       zipfS,
+		Seed:        seed,
+		SimDuration: simDur,
+		Short:       short,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("brload: %v", err)
+	}
+	fmt.Printf("scenario %s: %d devices, %.0fs simulated in %.1fs wall (%.0f events/sec)\n",
+		rep.Scenario, rep.Devices, rep.SimSeconds, rep.WallSecs, rep.EventsPerSec)
+	fmt.Printf("  connects=%d drops=%d dial_failures=%d trunk_deaths=%d\n",
+		rep.Connects, rep.Drops, rep.DialFailures, rep.TrunkDeaths)
+	fmt.Printf("  publishes=%d deltas=%d applied=%d probes=%d misses=%d\n",
+		rep.Publishes, rep.Deltas, rep.Applied, rep.Probes, rep.ProbeMisses)
+	fmt.Printf("  delivery latency p50=%v p99=%v (n=%d)\n",
+		rep.LatencyNS.P50, rep.LatencyNS.P99, rep.LatencyNS.Count)
+	fmt.Printf("  bytes/device=%.1f\n", rep.BytesPerDevice)
+	if rep.ReattachMinutes > 0 {
+		fmt.Printf("  storm reattach: %.0f simulated minutes\n", rep.ReattachMinutes)
+	}
+	if rep.FanoutPerSec > 0 {
+		fmt.Printf("  celebrity fanout: %.0f applies/sec into %d subscribers\n",
+			rep.FanoutPerSec, rep.HotTopicSubs)
+	}
+	if benchJSON != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("brload: marshal report: %v", err)
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("brload: %v", err)
+		}
+		fmt.Printf("report written to %s\n", benchJSON)
+	}
+	if maxBPD > 0 && rep.BytesPerDevice > maxBPD {
+		log.Fatalf("brload: bytes/device %.1f exceeds gate %.1f", rep.BytesPerDevice, maxBPD)
 	}
 }
 

@@ -1,0 +1,138 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternStableHandles(t *testing.T) {
+	tb := New()
+	a := tb.Intern("/TI/1/1")
+	b := tb.Intern("/TI/1/2")
+	if a == None || b == None {
+		t.Fatalf("valid handles must not be None: a=%d b=%d", a, b)
+	}
+	if a == b {
+		t.Fatalf("distinct strings got the same handle %d", a)
+	}
+	if got := tb.Intern("/TI/1/1"); got != a {
+		t.Fatalf("re-intern changed the handle: %d != %d", got, a)
+	}
+	if got := tb.StringOf(a); got != "/TI/1/1" {
+		t.Fatalf("StringOf(%d) = %q", a, got)
+	}
+	if got := tb.StringOf(b); got != "/TI/1/2" {
+		t.Fatalf("StringOf(%d) = %q", b, got)
+	}
+	if h, ok := tb.Lookup("/TI/1/2"); !ok || h != b {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", h, ok, b)
+	}
+	if _, ok := tb.Lookup("nope"); ok {
+		t.Fatal("Lookup of never-interned string reported ok")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestInternDenseFromOne(t *testing.T) {
+	tb := New()
+	for i := 0; i < 100; i++ {
+		h := tb.Intern(fmt.Sprintf("s%d", i))
+		if h != uint32(i+1) {
+			t.Fatalf("handle %d for %dth string, want dense %d", h, i, i+1)
+		}
+	}
+}
+
+func TestInternZeroAndOutOfRange(t *testing.T) {
+	tb := New()
+	if got := tb.StringOf(None); got != "" {
+		t.Fatalf("StringOf(None) = %q, want empty", got)
+	}
+	if got := tb.StringOf(999); got != "" {
+		t.Fatalf("StringOf(out-of-range) = %q, want empty", got)
+	}
+}
+
+// TestInternConcurrent hammers Intern and StringOf from many goroutines
+// under -race: readers must always observe either "" (not yet published)
+// or the exact interned string, never a torn slice.
+func TestInternConcurrent(t *testing.T) {
+	tb := New()
+	const writers, strsPer = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < strsPer; i++ {
+				s := fmt.Sprintf("w%d-%d", w, i)
+				h := tb.Intern(s)
+				if got := tb.StringOf(h); got != s {
+					t.Errorf("StringOf(%d) = %q, want %q", h, got, s)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers sweeping the whole handle space.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				_ = tb.StringOf(uint32(i % (writers*strsPer + 1)))
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != writers*strsPer {
+		t.Fatalf("Len = %d, want %d", tb.Len(), writers*strsPer)
+	}
+	// Every handle must round-trip.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < strsPer; i++ {
+			s := fmt.Sprintf("w%d-%d", w, i)
+			h, ok := tb.Lookup(s)
+			if !ok || tb.StringOf(h) != s {
+				t.Fatalf("round-trip failed for %q: h=%d ok=%v got=%q", s, h, ok, tb.StringOf(h))
+			}
+		}
+	}
+}
+
+// BenchmarkInternStringOfParallel measures the lock-free read side: every
+// core resolving handles concurrently with zero shared writes.
+func BenchmarkInternStringOfParallel(b *testing.B) {
+	tb := New()
+	const n = 1024
+	for i := 0; i < n; i++ {
+		tb.Intern(fmt.Sprintf("/TI/%d/%d", i, i))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		h := uint32(1)
+		for pb.Next() {
+			if tb.StringOf(h) == "" {
+				b.Fatal("unexpected miss")
+			}
+			h++
+			if h > n {
+				h = 1
+			}
+		}
+	})
+}
+
+// BenchmarkInternHit measures re-interning an existing string (the
+// registration-path cache hit).
+func BenchmarkInternHit(b *testing.B) {
+	tb := New()
+	tb.Intern("brass-us-east-0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tb.Intern("brass-us-east-0")
+	}
+}

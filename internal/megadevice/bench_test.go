@@ -1,0 +1,35 @@
+package megadevice
+
+import (
+	"testing"
+	"time"
+
+	"bladerunner/internal/metrics"
+)
+
+// BenchmarkApplyPayload measures the per-delta fan-in with a probe armed
+// every iteration (the worst case: seq compare + store per stream, counter
+// adds, probe claim, histogram observation). CI gates this at 0 allocs/op;
+// the histogram reservoir is pre-warmed so algorithm R overwrites in place
+// instead of growing the backing array mid-benchmark.
+func BenchmarkApplyPayload(b *testing.B) {
+	f, engine := virtualFleet(b, 64, 1)
+	f.ConnectAll(0)
+	engine.Run()
+	f.mu.Lock()
+	tr := f.trunkIDs[0]
+	f.mu.Unlock()
+	ts := tr.lookupSub(0)
+	if ts == nil || len(ts.streams) != 64 {
+		b.Fatal("benchmark fleet did not attach")
+	}
+	for i := 0; i < metrics.DefaultReservoirSize; i++ {
+		f.ApplyLatency.Observe(time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ProbeArm(0, 1)
+		f.applyPayload(ts, uint64(i+1))
+	}
+}

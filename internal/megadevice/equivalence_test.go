@@ -1,0 +1,281 @@
+package megadevice
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/core"
+	"bladerunner/internal/device"
+	"bladerunner/internal/socialgraph"
+)
+
+// TestEquivalenceWithDeviceModel drives two identical clusters with the
+// same publish sequence — one fleet of 50 full device.Device clients, one
+// 50-device megadevice Fleet — cuts the POP both fleets start on so both
+// reconnect through backoff, and asserts the per-stream delivered payload
+// sequences are IDENTICAL. This is the fidelity contract of the trunk
+// model: sharing one real stream per (trunk, topic) must not change what
+// any single device observes.
+//
+// Delivery around (re)attachment is inherently racy — a publish issued
+// while a stream is mid-subscribe may or may not reach it — so each
+// measured phase begins with a lockstep warm-up barrier: publish one warm
+// delta per round to BOTH clusters and repeat until every stream on both
+// sides has applied the newest warm seq. Per-stream BURST ordering then
+// guarantees every later publish is delivered to every stream, and issuing
+// the publishes in the same order on both clusters makes pylon's striped
+// event IDs (the delta seqs) identical. Warm deltas are excluded from the
+// comparison; the phase deltas must match exactly.
+func TestEquivalenceWithDeviceModel(t *testing.T) {
+	const (
+		eqN     = 50
+		eqAreas = 10
+		eqK     = 3 // publishes per area per phase
+	)
+	ownerOf := func(a int) uint64 { return uint64(500 + a) }
+	subOf := func(a int) string {
+		return fmt.Sprintf("typingIndicator(threadID: %d, peer: %d)", a, ownerOf(a))
+	}
+
+	// Identical clusters; blocks off so the fleet's representative viewer
+	// and every device viewer pass the same (trivial) privacy check.
+	mkCfg := func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Graph.BlockProb = 0
+		return cfg
+	}
+	c1 := core.MustNewCluster(mkCfg(), nil)
+	defer c1.Close()
+	c2 := core.MustNewCluster(mkCfg(), nil)
+	defer c2.Close()
+	pops := c1.POPTargets()
+
+	// Device-model fleet on c1: one device per virtual device, one stream
+	// each, a collector goroutine recording the delivered seq trace.
+	type devRec struct {
+		st   *device.Stream
+		mu   sync.Mutex
+		seqs []uint64
+	}
+	devs := make([]*device.Device, eqN)
+	recs := make([]*devRec, eqN)
+	for i := 0; i < eqN; i++ {
+		d := c1.NewDeviceVia(c1.Net, device.Config{
+			User:        socialgraph.UserID(100 + i),
+			POPs:        pops,
+			BackoffSeed: int64(i) + 1,
+		})
+		if err := d.Connect(); err != nil {
+			t.Fatalf("device %d connect: %v", i, err)
+		}
+		st, err := d.Subscribe(apps.AppTyping, subOf(i%eqAreas), nil)
+		if err != nil {
+			t.Fatalf("device %d subscribe: %v", i, err)
+		}
+		r := &devRec{st: st}
+		go func() {
+			for delta := range st.Updates {
+				r.mu.Lock()
+				r.seqs = append(r.seqs, delta.Seq)
+				r.mu.Unlock()
+			}
+		}()
+		devs[i], recs[i] = d, r
+		defer d.Close()
+	}
+
+	// megadevice fleet on c2, same shape: device i's single stream is
+	// sid i (streams are added in device order), area i%eqAreas.
+	areas := make([]Area, eqAreas)
+	for a := range areas {
+		areas[a] = Area{
+			App:          apps.AppTyping,
+			Subscription: subOf(a),
+			Topic:        string(apps.TypingTopic(uint64(a), ownerOf(a))),
+			User:         999,
+		}
+	}
+	fleet, err := New(Config{
+		Devices:          eqN,
+		Areas:            areas,
+		StreamArea:       func(dev uint32, _ int) uint32 { return dev % eqAreas },
+		POPs:             c2.POPTargets(),
+		Dialer:           c2.Net,
+		Seed:             42,
+		RecordDeliveries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	fleet.ConnectAll(0)
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor("fleet connected", func() bool { return fleet.ConnectedCount() == eqN })
+
+	publishBoth := func(a int) {
+		t.Helper()
+		expr := fmt.Sprintf(`setTyping(threadID: %d, on: "true")`, a)
+		if _, err := c1.WAS.Mutate(socialgraph.UserID(ownerOf(a)), expr); err != nil {
+			t.Fatalf("c1 publish area %d: %v", a, err)
+		}
+		if _, err := c2.WAS.Mutate(socialgraph.UserID(ownerOf(a)), expr); err != nil {
+			t.Fatalf("c2 publish area %d: %v", a, err)
+		}
+	}
+
+	// converged reports whether every stream of area a — device-model and
+	// fleet — has applied the same seq, and returns that seq.
+	converged := func(a int) (uint64, bool) {
+		var v uint64
+		for i := a; i < eqN; i += eqAreas {
+			ds := recs[i].st.LastSeq()
+			fs := fleet.LastSeq(uint32(i))
+			if v == 0 {
+				v = ds
+			}
+			if ds != v || fs != v || v == 0 {
+				return 0, false
+			}
+		}
+		return v, true
+	}
+
+	// warmBarrier publishes lockstep warm rounds on every area until both
+	// sides fully converge, returning the per-area warm high-water seq.
+	// Publish counts stay identical across clusters by construction, so
+	// the event-ID streams stay aligned.
+	warmBarrier := func(phase string) [eqAreas]uint64 {
+		t.Helper()
+		var water [eqAreas]uint64
+		for a := 0; a < eqAreas; a++ {
+			deadline := time.Now().Add(25 * time.Second)
+			for {
+				prev, _ := converged(a)
+				publishBoth(a)
+				round := time.Now().Add(300 * time.Millisecond)
+				ok := false
+				for time.Now().Before(round) {
+					if v, c := converged(a); c && v > prev {
+						water[a], ok = v, true
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("%s: area %d never converged", phase, a)
+				}
+			}
+		}
+		return water
+	}
+
+	// phase runs eqK lockstep publishes per area; every publish must reach
+	// every stream on both sides (the warm barrier guarantees it). Returns
+	// the measured seqs per area, in delivery order.
+	phase := func(name string) [eqAreas][]uint64 {
+		t.Helper()
+		var want [eqAreas][]uint64
+		for k := 0; k < eqK; k++ {
+			for a := 0; a < eqAreas; a++ {
+				prev, c := converged(a)
+				if !c {
+					t.Fatalf("%s: area %d not settled before publish %d", name, a, k)
+				}
+				publishBoth(a)
+				waitFor(fmt.Sprintf("%s area %d publish %d", name, a, k), func() bool {
+					v, c := converged(a)
+					return c && v > prev
+				})
+				v, _ := converged(a)
+				want[a] = append(want[a], v)
+			}
+		}
+		return want
+	}
+
+	warmBarrier("phase1 warm")
+	want1 := phase("phase1")
+
+	// Sever the POP everyone started on, on BOTH clusters. Both models
+	// rotate to the next POP through jittered backoff and re-attach.
+	c1.Net.SetDown(pops[0], true)
+	c2.Net.SetDown(pops[0], true)
+	waitFor("device fleet reconnect", func() bool {
+		for _, d := range devs {
+			if !d.Connected() {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor("mega fleet reconnect", func() bool { return fleet.ConnectedCount() == eqN })
+
+	warmBarrier("phase2 warm")
+	want2 := phase("phase2")
+
+	c1.Quiesce()
+	c2.Quiesce()
+	time.Sleep(50 * time.Millisecond)
+
+	// Compare: per stream, the delivered trace filtered to the measured
+	// phase seqs must equal the expected sequence exactly — same deltas,
+	// same order, no gaps, no duplicates, on both models.
+	for i := 0; i < eqN; i++ {
+		a := i % eqAreas
+		expected := append(append([]uint64(nil), want1[a]...), want2[a]...)
+		inExpected := make(map[uint64]bool, len(expected))
+		for _, s := range expected {
+			inExpected[s] = true
+		}
+		filter := func(trace []uint64) []uint64 {
+			out := make([]uint64, 0, len(expected))
+			for _, s := range trace {
+				if inExpected[s] {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
+		recs[i].mu.Lock()
+		devTrace := filter(recs[i].seqs)
+		recs[i].mu.Unlock()
+		fleetTrace := filter(fleet.DeliveredSeqs(uint32(i)))
+		if !equalSeqs(devTrace, expected) {
+			t.Errorf("device %d trace %v != expected %v", i, devTrace, expected)
+		}
+		if !equalSeqs(fleetTrace, expected) {
+			t.Errorf("fleet stream %d trace %v != expected %v", i, fleetTrace, expected)
+		}
+		if !equalSeqs(devTrace, fleetTrace) {
+			t.Errorf("stream %d diverged: device %v vs fleet %v", i, devTrace, fleetTrace)
+		}
+	}
+}
+
+func equalSeqs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,335 @@
+package megadevice
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"bladerunner/internal/edge"
+	"bladerunner/internal/sim"
+)
+
+var t0 = time.Date(2020, 3, 15, 0, 0, 0, 0, time.UTC)
+
+// virtualFleet builds an engine-driven fleet with no dialer (trunks are
+// virtual: attach always succeeds, no real session).
+func virtualFleet(t testing.TB, devices, areas int) (*Fleet, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine(t0)
+	as := make([]Area, areas)
+	for i := range as {
+		as[i] = Area{App: "test", Subscription: fmt.Sprintf("sub-%d", i), Topic: fmt.Sprintf("/T/%d", i), User: 1}
+	}
+	f, err := New(Config{
+		Devices: devices,
+		Areas:   as,
+		POPs:    []string{"pop-0", "pop-1"},
+		Sched:   engine,
+		Clock:   engine,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, engine
+}
+
+func TestFleetConnectsAllVirtual(t *testing.T) {
+	f, engine := virtualFleet(t, 1000, 10)
+	f.ConnectAll(time.Minute)
+	engine.Run()
+	if got := f.ConnectedCount(); got != 1000 {
+		t.Fatalf("connected = %d, want 1000", got)
+	}
+	if got := f.Connects.Value(); got != 1000 {
+		t.Fatalf("Connects = %d, want 1000", got)
+	}
+	// Every stream must be attached to its trunk's shared subscription.
+	f.mu.Lock()
+	for sid := range f.tab.streamTopic {
+		if f.tab.streamSubIdx[sid] == noIndex {
+			f.mu.Unlock()
+			t.Fatalf("stream %d not attached", sid)
+		}
+	}
+	trunks := len(f.trunks)
+	f.mu.Unlock()
+	if trunks != 1 {
+		t.Fatalf("trunks = %d, want 1 (all devices start on pop-0)", trunks)
+	}
+}
+
+func TestDropReconnectRotatesPOP(t *testing.T) {
+	f, engine := virtualFleet(t, 1, 1)
+	f.ConnectAt(0, t0)
+	engine.Run()
+	if f.State(0) != StateConnected {
+		t.Fatal("device did not connect")
+	}
+	f.DropAt(0, engine.Now().Add(time.Second))
+	engine.Run()
+	if f.State(0) != StateConnected {
+		t.Fatalf("device did not reconnect (state %d)", f.State(0))
+	}
+	if d, c := f.Drops.Value(), f.Connects.Value(); d != 1 || c != 2 {
+		t.Fatalf("Drops=%d Connects=%d, want 1/2", d, c)
+	}
+	f.mu.Lock()
+	pop := f.trunkIDs[f.tab.trunk[0]].pop
+	idx := f.tab.subIdxOK(0)
+	f.mu.Unlock()
+	if pop != "pop-1" {
+		t.Fatalf("reconnected to %s, want rotated pop-1", pop)
+	}
+	if !idx {
+		t.Fatal("stream not re-attached after reconnect")
+	}
+	// The reconnect must have waited out a backoff delay.
+	if engine.Now().Sub(t0) < time.Second+25*time.Millisecond {
+		t.Fatalf("reconnect too fast: %v", engine.Now().Sub(t0))
+	}
+}
+
+// subIdxOK reports whether device 0's streams are all attached (test
+// helper on tables).
+func (tb *tables) subIdxOK(dev uint32) bool {
+	for sid := tb.firstStream[dev]; sid != noStream; sid = tb.streamNext[sid] {
+		if tb.streamSubIdx[sid] == noIndex {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOffGoesIdleUntilReconnected(t *testing.T) {
+	f, engine := virtualFleet(t, 2, 1)
+	f.ConnectAll(0)
+	engine.Run()
+	f.OffAt(1, engine.Now().Add(time.Second))
+	engine.Run()
+	if f.State(1) != StateIdle || f.ConnectedCount() != 1 {
+		t.Fatalf("state=%d connected=%d, want Idle/1", f.State(1), f.ConnectedCount())
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", f.Pending())
+	}
+	// Off while a dial is pending: the stale kDial must not resurrect it.
+	f.DropAt(0, engine.Now().Add(time.Second))
+	f.OffAt(0, engine.Now().Add(time.Second+10*time.Millisecond))
+	engine.Run()
+	if f.State(0) != StateIdle {
+		t.Fatalf("state=%d, want Idle (off must beat the pending redial)", f.State(0))
+	}
+	f.ConnectAt(0, engine.Now().Add(time.Minute))
+	engine.Run()
+	if f.State(0) != StateConnected {
+		t.Fatal("device did not come back after Off")
+	}
+}
+
+// failPopDialer fails configured targets and returns a drained pipe
+// otherwise.
+type failPopDialer struct{ fail map[string]bool }
+
+func (d failPopDialer) Dial(target string) (io.ReadWriteCloser, error) {
+	if d.fail[target] {
+		return nil, errors.New("dial refused")
+	}
+	c, s := net.Pipe()
+	go func() { _, _ = io.Copy(io.Discard, s) }()
+	return c, nil
+}
+
+func TestDialFailureBacksOffAndRotates(t *testing.T) {
+	engine := sim.NewEngine(t0)
+	f, err := New(Config{
+		Devices: 1,
+		Areas:   []Area{{App: "test", Subscription: "s", Topic: "/T/0", User: 1}},
+		POPs:    []string{"pop-0", "pop-1"},
+		Dialer:  failPopDialer{fail: map[string]bool{"pop-0": true}},
+		Sched:   engine,
+		Clock:   engine,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.ConnectAt(0, t0)
+	engine.Run()
+	if f.State(0) != StateConnected {
+		t.Fatalf("state = %d, want Connected via pop-1", f.State(0))
+	}
+	if f.DialFailures.Value() < 1 {
+		t.Fatal("expected at least one dial failure on pop-0")
+	}
+	if engine.Now().Sub(t0) < 25*time.Millisecond {
+		t.Fatalf("retry did not back off: connected at +%v", engine.Now().Sub(t0))
+	}
+}
+
+func TestBackoffDelayJitteredBoundedDeterministic(t *testing.T) {
+	f, _ := virtualFleet(t, 4, 1)
+	base := float64(f.policy.Base)
+	for attempt := uint8(0); attempt < 12; attempt++ {
+		raw := base
+		for i := uint8(0); i < attempt; i++ {
+			raw *= 2
+			if raw > float64(f.policy.Max) {
+				raw = float64(f.policy.Max)
+				break
+			}
+		}
+		if raw > float64(f.policy.Max) {
+			raw = float64(f.policy.Max)
+		}
+		for dev := uint32(0); dev < 4; dev++ {
+			d := f.backoffDelay(dev, attempt)
+			if float64(d) < raw*0.49 || float64(d) > raw*1.51 {
+				t.Fatalf("delay(%d,%d) = %v outside jitter bounds of %v", dev, attempt, time.Duration(d), time.Duration(raw))
+			}
+			if d2 := f.backoffDelay(dev, attempt); d2 != d {
+				t.Fatalf("delay(%d,%d) not deterministic: %d vs %d", dev, attempt, d, d2)
+			}
+		}
+	}
+	// Distinct devices must not retry in lockstep.
+	if f.backoffDelay(0, 3) == f.backoffDelay(1, 3) && f.backoffDelay(0, 4) == f.backoffDelay(1, 4) {
+		t.Fatal("jitter identical across devices")
+	}
+}
+
+func TestApplyPayloadSeqProbeAndCounters(t *testing.T) {
+	f, engine := virtualFleet(t, 8, 2)
+	f.ConnectAll(0)
+	engine.Run()
+	f.mu.Lock()
+	tr := f.trunkIDs[0]
+	f.mu.Unlock()
+	ts := tr.lookupSub(0)
+	if ts == nil {
+		t.Fatal("no shared subscription for area 0")
+	}
+	attached := len(ts.streams)
+	if attached != 4 {
+		t.Fatalf("area 0 attached = %d, want 4 (round-robin of 8 devices)", attached)
+	}
+
+	f.applyPayload(ts, 7)
+	if got := f.Applied.Value(); got != int64(attached) {
+		t.Fatalf("Applied = %d, want %d", got, attached)
+	}
+	for _, sid := range ts.streams {
+		if f.LastSeq(sid) != 7 {
+			t.Fatalf("stream %d LastSeq = %d, want 7", sid, f.LastSeq(sid))
+		}
+	}
+	// Stale seq must not regress LastSeq.
+	f.applyPayload(ts, 5)
+	if f.LastSeq(ts.streams[0]) != 7 {
+		t.Fatal("stale seq regressed LastSeq")
+	}
+
+	// An armed probe is claimed exactly once by the next applied delta.
+	f.ProbeArm(0, 123)
+	f.applyPayload(ts, 8)
+	if f.ProbeArmed(0) {
+		t.Fatal("probe not claimed")
+	}
+	if f.ApplyLatency.Count() != 1 {
+		t.Fatalf("latency samples = %d, want 1", f.ApplyLatency.Count())
+	}
+	f.applyPayload(ts, 9)
+	if f.ApplyLatency.Count() != 1 {
+		t.Fatal("unarmed apply recorded a latency sample")
+	}
+
+	// A delta on an EMPTY subscription must not claim a probe: nothing
+	// was delivered to any device.
+	empty := &topicSub{trunk: tr, area: 1}
+	f.ProbeArm(1, 456)
+	f.applyPayload(empty, 10)
+	if !f.ProbeArmed(1) {
+		t.Fatal("empty apply claimed the probe")
+	}
+	if !f.ProbeDisarm(1) {
+		t.Fatal("disarm found nothing")
+	}
+}
+
+func TestTrunkDeathRedialsAttachedDevices(t *testing.T) {
+	net := edge.NewPipeNetwork()
+	for _, pop := range []string{"pop-0", "pop-1"} {
+		net.Register(pop, func(rwc io.ReadWriteCloser) {
+			go func() { _, _ = io.Copy(io.Discard, rwc) }()
+		})
+	}
+	engine := sim.NewEngine(t0)
+	f, err := New(Config{
+		Devices: 100,
+		Areas:   []Area{{App: "test", Subscription: "s", Topic: "/T/0", User: 1}},
+		POPs:    []string{"pop-0", "pop-1"},
+		Dialer:  net,
+		Sched:   engine,
+		Clock:   engine,
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.ConnectAll(0)
+	engine.Run()
+	if f.ConnectedCount() != 100 {
+		t.Fatalf("connected = %d, want 100", f.ConnectedCount())
+	}
+
+	net.SetDown("pop-0", true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		f.Service()
+		engine.RunFor(10 * time.Second)
+		if f.TrunkDeaths.Value() >= 1 && f.ConnectedCount() == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not recover: deaths=%d connected=%d",
+				f.TrunkDeaths.Value(), f.ConnectedCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.mu.Lock()
+	pop := f.trunks["pop-1"]
+	f.mu.Unlock()
+	if pop == nil {
+		t.Fatal("no trunk on the healthy POP after failover")
+	}
+	if f.Connects.Value() != 200 {
+		t.Fatalf("Connects = %d, want 200 (everyone re-dialed once)", f.Connects.Value())
+	}
+}
+
+func TestFootprintStaysUnderBudget(t *testing.T) {
+	devices := 100_000
+	if testing.Short() {
+		devices = 20_000
+	}
+	f, engine := virtualFleet(t, devices, 200)
+	f.ConnectAll(time.Minute)
+	engine.Run()
+	// Churn a slice of the fleet so the heap and membership slices have
+	// seen real traffic, then measure.
+	for dev := 0; dev < devices/10; dev++ {
+		f.DropAt(uint32(dev), engine.Now().Add(time.Duration(dev%60)*time.Second))
+	}
+	engine.Run()
+	bpd := f.BytesPerDevice()
+	if bpd > 64 {
+		t.Fatalf("bytes/device = %.1f, want <= 64", bpd)
+	}
+	t.Logf("bytes/device = %.1f (footprint %d for %d devices)", bpd, f.Footprint(), devices)
+}

@@ -67,6 +67,10 @@ func NewHistogramSize(size int) *Histogram {
 }
 
 // Observe records one duration.
+//
+// state overwrites reservoir slots in place.
+//
+//brlint:hotpath latency recording runs on per-delta apply paths; steady
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -79,6 +83,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count++
 	h.sum += d
 	if len(h.reservoir) < h.cap {
+		//brlint:allow(hot-path-alloc) reservoir warm-up only: the append runs at most cap times over the histogram's lifetime, then algorithm R overwrites in place
 		h.reservoir = append(h.reservoir, d)
 		h.sorted = false
 		return

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"bladerunner/internal/cache"
+	"bladerunner/internal/intern"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/overload"
@@ -185,10 +186,12 @@ func (rt *routeTable) recomputeAnyUp() {
 }
 
 // subEntry is one cached subscriber set: the quorum-merged member list as
-// of version ver of the topic's shard.
+// of version ver of the topic's shard, resolved to interned host handles at
+// fill time. The fan-out loop then indexes the dense COW dispatch slice
+// directly — no per-delivery map lookup, no Member→string conversion.
 type subEntry struct {
 	ver     uint64
-	members []kvstore.Member
+	handles []uint32
 }
 
 // Service is the Pylon control plane plus fan-out data plane.
@@ -202,7 +205,14 @@ type Service struct {
 	// never take it.
 	hosts atomic.Pointer[map[string]Subscriber]
 	route atomic.Pointer[routeTable]
-	wmu   sync.Mutex
+	// hostIDs interns BRASS host IDs to dense handles; hostSlots is the
+	// matching copy-on-write handle→Subscriber dispatch slice the cached
+	// fan-out path indexes instead of hashing host-ID strings. A removed
+	// host's slot is nil'd (same wmu-serialized COW discipline as hosts),
+	// and re-registration under the same ID reuses the same handle.
+	hostIDs   *intern.Table
+	hostSlots atomic.Pointer[[]Subscriber]
+	wmu       sync.Mutex
 	// hostTopics is the reverse index used when a BRASS host fails and
 	// all its subscriptions must be removed (paper §4 axiom 1). Guarded
 	// by wmu.
@@ -253,10 +263,13 @@ func New(cfg Config, kv *kvstore.Cluster) (*Service, error) {
 		serverLoad: make([]padded, cfg.Servers),
 		eventSeq:   make([]padded, eventStripes),
 		shardVer:   make([]atomic.Uint64, cfg.Shards),
+		hostIDs:    intern.New(),
 		FanoutSize: metrics.NewCountHistogram(),
 	}
 	hosts := make(map[string]Subscriber)
 	s.hosts.Store(&hosts)
+	slots := make([]Subscriber, 1) // slot 0 = intern.None
+	s.hostSlots.Store(&slots)
 	rt := &routeTable{up: make([]bool, cfg.Servers), anyUp: true}
 	for i := range rt.up {
 		rt.up[i] = true
@@ -297,6 +310,16 @@ func (s *Service) RegisterHost(sub Subscriber) {
 	}
 	hosts[sub.ID()] = sub
 	s.hosts.Store(&hosts)
+	h := s.hostIDs.Intern(sub.ID())
+	oldSlots := *s.hostSlots.Load()
+	n := len(oldSlots)
+	if int(h) >= n {
+		n = int(h) + 1
+	}
+	slots := make([]Subscriber, n)
+	copy(slots, oldSlots)
+	slots[h] = sub
+	s.hostSlots.Store(&slots)
 	if s.hostTopics[sub.ID()] == nil {
 		s.hostTopics[sub.ID()] = make(map[Topic]bool)
 	}
@@ -399,6 +422,13 @@ func (s *Service) RemoveHost(hostID string) {
 		}
 	}
 	s.hosts.Store(&hosts)
+	if h, ok := s.hostIDs.Lookup(hostID); ok {
+		oldSlots := *s.hostSlots.Load()
+		slots := make([]Subscriber, len(oldSlots))
+		copy(slots, oldSlots)
+		slots[h] = nil
+		s.hostSlots.Store(&slots)
+	}
 	s.wmu.Unlock()
 	for _, t := range topics {
 		_, _ = s.kv.SetRemove(string(t), kvstore.Member(hostID))
@@ -505,9 +535,17 @@ func (s *Service) Publish(ev Event) (int, error) {
 		if e, ok := s.subCache.Get(ev.Topic); ok {
 			if e.ver == ver {
 				s.SubCacheHits.Inc()
+				// Dispatch via interned handles: one slice index per
+				// subscriber instead of a string-keyed map lookup. Removed
+				// hosts leave a nil slot, so even a fresh cache entry that
+				// still lists them cannot deliver to them.
+				slots := *s.hostSlots.Load()
 				n := 0
-				for _, m := range e.members {
-					if sub := hosts[string(m)]; sub != nil {
+				for _, h := range e.handles {
+					if int(h) >= len(slots) {
+						continue
+					}
+					if sub := slots[h]; sub != nil {
 						//brlint:allow(hot-path-alloc) subscriber dispatch: production subscribers (brass.Host, bench.Sink) are hotpath-gated; baseline/ablation subscribers allocate but are experiment-only
 						sub.Deliver(ev)
 						n++
@@ -603,7 +641,16 @@ func (s *Service) publishSlow(ev Event, shard int, ver uint64, hosts map[string]
 			// publishers); force the next publish to re-read.
 			s.bumpShard(shard)
 		} else {
-			s.subCache.Put(ev.Topic, subEntry{ver: ver, members: merged.Members()})
+			// Resolve members to interned handles once, at fill time; the
+			// fan-out loop then never touches the strings again. Interning
+			// is a mutex'd map hit for known hosts — per miss, not per
+			// publish.
+			members := merged.Members()
+			handles := make([]uint32, len(members))
+			for i, m := range members {
+				handles[i] = s.hostIDs.Intern(string(m))
+			}
+			s.subCache.Put(ev.Topic, subEntry{ver: ver, handles: handles})
 		}
 	}
 

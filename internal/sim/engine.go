@@ -62,11 +62,22 @@ func (e *Engine) At(t time.Time, fn func()) func() {
 	ev := &event{at: t, seq: e.seq, id: e.nextID, fn: fn}
 	heap.Push(&e.queue, ev)
 	return func() {
+		// Idempotent, and releases everything it can: the first call drops
+		// the event from the heap (if still pending), its fn closure, and
+		// the closure's own reference to the event struct. Callers routinely
+		// hold cancel funcs long after the event fired (reconnect timers,
+		// keepalives, presence loops) — at a million devices, a retained
+		// 48-byte event per held cancel is real memory, so a cancel func
+		// must pin nothing once invoked.
+		if ev == nil {
+			return
+		}
 		if ev.index >= 0 {
 			heap.Remove(&e.queue, ev.index)
 			ev.index = -1
-			ev.fn = nil
 		}
+		ev.fn = nil
+		ev = nil
 	}
 }
 
@@ -160,6 +171,15 @@ func (q *eventQueue) Pop() any {
 	ev := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
+	// Shrink the backing array once it is mostly slack: a burst of a
+	// million scheduled events must not pin megabytes of pointer slots
+	// for the rest of the run (popped slots are nil'd above, but the
+	// array itself would otherwise never be released).
+	if c := cap(old); c > 1024 && (n-1)*4 < c {
+		shrunk := make(eventQueue, n-1, c/2)
+		copy(shrunk, old[:n-1])
+		*q = shrunk
+	}
 	return ev
 }
 

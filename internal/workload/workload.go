@@ -219,3 +219,68 @@ func Validate(buckets []UpdateBucket) error {
 	}
 	return nil
 }
+
+// Zipf is a power-law popularity distribution over n ranked items (areas
+// of interest, topics): item k (0-based rank) is drawn with probability
+// proportional to 1/(k+1)^S. This is the shape of topic popularity the
+// paper's Table 1 implies — a tiny set of celebrity areas absorbs most of
+// the update volume while the long tail is nearly idle — packaged as a
+// sampler the scenario suite can drive subscriptions AND publishes from.
+//
+// Sampling is inverse-CDF over precomputed cumulative weights (one binary
+// search, no rejection loop), so it is cheap enough to call per scheduled
+// event and fully deterministic under a seeded rng.
+type Zipf struct {
+	cum []float64 // cum[k] = sum of weights of ranks 0..k, normalized to 1
+	s   float64
+}
+
+// NewZipf builds a Zipf distribution over n items with exponent s. n must
+// be positive; s <= 0 degenerates to uniform.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: NewZipf with n=%d", n))
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	return &Zipf{cum: cum, s: s}
+}
+
+// N returns the number of ranked items.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Sample draws one rank in [0, N).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	x := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank k.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cum) {
+		return 0
+	}
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}
