@@ -17,11 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
+	"strings"
 	"testing"
 
 	"bladerunner/internal/bench"
 	"bladerunner/internal/experiments"
+	"bladerunner/internal/sim"
 	"bladerunner/internal/trace"
 )
 
@@ -49,8 +52,28 @@ var benchBaseline = []benchResult{
 	{Name: "EndToEndCommentPush", NsPerOp: 212591, AllocsPerOp: 80, BytesPerOp: 6375},
 }
 
+// benchMeta is the run metadata stamped into every -bench-json report, so
+// a recorded file is traceable to the tree, seed and run that produced it.
+type benchMeta struct {
+	Seed        int64   `json:"seed"`
+	Scenario    string  `json:"scenario"`
+	WallSeconds float64 `json:"wall_seconds"`
+	GitDescribe string  `json:"git_describe"`
+}
+
+// gitDescribe identifies the working tree ("unknown" outside a git
+// checkout — e.g. a release tarball).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // benchReport is the schema of the -bench-json file.
 type benchReport struct {
+	Meta   benchMeta     `json:"meta"`
 	Before []benchResult `json:"before"` // pre-fast-path baseline (commit 5cf3a5f)
 	After  []benchResult `json:"after"`  // this build
 	// Overload is the OverloadStorm experiment table (bounded p99 under a
@@ -65,12 +88,18 @@ type benchReport struct {
 	// cut under live streams. The CDFs back the table rows.
 	GeoFailover       []experiments.Row                    `json:"geofailover,omitempty"`
 	GeoFailoverSeries map[string][]experiments.SeriesPoint `json:"geofailover_series,omitempty"`
+	// Durlog is the durable-log resume experiment: the overload storm
+	// rerun with the per-topic edge log on, showing WAS point queries at
+	// ~0 while the view still converges gap-free.
+	Durlog []experiments.Row `json:"durlog,omitempty"`
 }
 
 // runBenchJSON runs the shared hot-path benchmark bodies (internal/bench —
 // the same code `go test -bench` runs) plus the OverloadStorm experiment,
 // and writes the report to path.
 func runBenchJSON(path string, seed int64) error {
+	wall := sim.RealClock{}
+	start := wall.Now()
 	plain := func(fn func(*testing.B)) func(*testing.B) map[string]trace.HopStat {
 		return func(b *testing.B) map[string]trace.HopStat { fn(b); return nil }
 	}
@@ -109,9 +138,19 @@ func runBenchJSON(path string, seed int64) error {
 	fmt.Fprintln(os.Stderr, "experiment geofailover...")
 	geo := experiments.GeoFailover(seed)
 	fmt.Println(geo)
+	fmt.Fprintln(os.Stderr, "experiment durlog...")
+	dlog := experiments.DurlogResume(seed)
+	fmt.Println(dlog)
 	out, err := json.MarshalIndent(benchReport{
+		Meta: benchMeta{
+			Seed:        seed,
+			Scenario:    "hotpath-bench",
+			WallSeconds: wall.Now().Sub(start).Seconds(),
+			GitDescribe: gitDescribe(),
+		},
 		Before: benchBaseline, After: results, Overload: storm.Rows,
 		GeoFailover: geo.Rows, GeoFailoverSeries: geo.Series,
+		Durlog: dlog.Rows,
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -120,7 +159,7 @@ func runBenchJSON(path string, seed int64) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, geofailover, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, geofailover, durlog, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark results (ns/op, allocs/op) to this JSON file and exit")
@@ -149,6 +188,7 @@ func main() {
 		"tracehops":   func() experiments.Result { return experiments.TraceHops(*seed) },
 		"overload":    func() experiments.Result { return experiments.OverloadStorm(*seed) },
 		"geofailover": func() experiments.Result { return experiments.GeoFailover(*seed) },
+		"durlog":      func() experiments.Result { return experiments.DurlogResume(*seed) },
 		"ablations":   nil, // expanded below
 	}
 

@@ -16,6 +16,7 @@
 //	brload -what graph -n 10000
 //	brload -scenario diurnal -devices 1000000 -bench-json BENCH_8.json
 //	brload -scenario storm -short
+//	brload -scenario replay -devices 100000 -bench-json BENCH_9.json
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"bladerunner/internal/megadevice"
@@ -36,7 +39,7 @@ func main() {
 	what := flag.String("what", "areas", "areas | lifetimes | diurnal | graph")
 	n := flag.Int("n", 1_000_000, "sample count")
 	seed := flag.Int64("seed", 1, "RNG seed")
-	scenario := flag.String("scenario", "", "run a megadevice scenario instead: diurnal | storm | celebrity")
+	scenario := flag.String("scenario", "", "run a megadevice scenario instead: diurnal | storm | celebrity | replay")
 	devices := flag.Int("devices", 1_000_000, "scenario: virtual device count")
 	areas := flag.Int("areas", 1000, "scenario: topic/area count")
 	zipfS := flag.Float64("zipf", 1.1, "scenario: area-popularity Zipf exponent")
@@ -81,6 +84,7 @@ func runScenario(name string, devices, areas int, zipfS float64, seed int64,
 	if err != nil {
 		log.Fatalf("brload: %v", err)
 	}
+	rep.GitDescribe = gitDescribe()
 	fmt.Printf("scenario %s: %d devices, %.0fs simulated in %.1fs wall (%.0f events/sec)\n",
 		rep.Scenario, rep.Devices, rep.SimSeconds, rep.WallSecs, rep.EventsPerSec)
 	fmt.Printf("  connects=%d drops=%d dial_failures=%d trunk_deaths=%d\n",
@@ -97,6 +101,12 @@ func runScenario(name string, devices, areas int, zipfS float64, seed int64,
 		fmt.Printf("  celebrity fanout: %.0f applies/sec into %d subscribers\n",
 			rep.FanoutPerSec, rep.HotTopicSubs)
 	}
+	if rep.Scenario == megadevice.ScenarioReplay {
+		fmt.Printf("  replay: %d late joiners caught up %d deltas from the edge log (backlog=%d, log resumes=%d, point queries=%d)\n",
+			rep.ReplayLateJoiners, rep.ReplayCatchUpApplied, rep.ReplayBacklog, rep.LogResumes, rep.ReplayPointQueries)
+		fmt.Printf("  log: appends=%d catchup_deltas=%d expired=%d cursor_resumes=%d\n",
+			rep.LogAppends, rep.LogCatchUpDeltas, rep.LogExpired, rep.CursorResumes)
+	}
 	if benchJSON != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -110,6 +120,16 @@ func runScenario(name string, devices, areas int, zipfS float64, seed int64,
 	if maxBPD > 0 && rep.BytesPerDevice > maxBPD {
 		log.Fatalf("brload: bytes/device %.1f exceeds gate %.1f", rep.BytesPerDevice, maxBPD)
 	}
+}
+
+// gitDescribe identifies the working tree ("unknown" outside a git
+// checkout — e.g. a release tarball).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func showAreas(rng *rand.Rand, n int) {

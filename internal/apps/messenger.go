@@ -9,6 +9,7 @@ import (
 
 	"bladerunner/internal/brass"
 	"bladerunner/internal/burst"
+	"bladerunner/internal/durlog"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/tao"
@@ -212,6 +213,10 @@ func (a *Messenger) Name() string { return AppMessenger }
 
 type messengerStream struct {
 	lastSeq uint64
+	// topic is the stream's resolved mailbox topic — the key it logs
+	// deliveries and serves cursor catch-ups under when the host's
+	// durable log is enabled for Messenger.
+	topic pylon.Topic
 }
 
 type messengerInstance struct {
@@ -241,10 +246,108 @@ func (in *messengerInstance) OnStreamOpen(st *brass.Stream) error {
 			return err
 		}
 	}
+	if len(topics) > 0 {
+		state.topic = topics[0]
+	}
+	if in.rt.LogEnabled() && state.topic != "" {
+		in.rt.LogOpen(state.topic)
+		// Cursor resume: replay the missed suffix from the host's durable
+		// log — gap-free, no backend read. An expired (or malformed)
+		// cursor is NEVER repaired into a fabricated one; the stream falls
+		// through to the WAS resync below instead.
+		if cur := st.Header(burst.HdrCursor); cur != "" {
+			if in.logCatchUp(st, state, cur) {
+				return nil
+			}
+		}
+	}
 	// Catch-up: deliver everything the device missed while disconnected
 	// (the device resubscribed with the last sequence number it had).
 	in.catchUp(st, state)
 	return nil
+}
+
+// logCatchUp serves a resume from the durable log. It handles the two
+// input-only sentinels ("live" skips the backlog, "earliest" replays the
+// whole retained window) and concrete "epoch.seq" cursors, pushes the
+// gap-free suffix as ONE catch-up batch (bypassing per-stream admission —
+// see Stream.PushCatchUp), and persists the advanced resume state in one
+// rewrite frame. Returns false when the log cannot prove continuity; the
+// caller then falls back to the WAS.
+func (in *messengerInstance) logCatchUp(st *brass.Stream, state *messengerStream, raw string) bool {
+	var c durlog.Cursor
+	switch raw {
+	case durlog.SentinelLive:
+		tail, ok := in.rt.LogTail(state.topic)
+		if !ok {
+			return false
+		}
+		if tail.Seq > state.lastSeq {
+			state.lastSeq = tail.Seq
+		}
+		in.rewriteResumeState(st, state, tail)
+		return true
+	case durlog.SentinelEarliest:
+		e, ok := in.rt.LogEarliest(state.topic)
+		if !ok {
+			return false
+		}
+		c = e
+	default:
+		p, ok := durlog.Parse(raw)
+		if !ok {
+			return false
+		}
+		c = p
+	}
+	entries, next, err := in.rt.LogRead(state.topic, c)
+	if err != nil {
+		return false // expired: fall back to WAS resync, never fabricate
+	}
+	deltas := make([]burst.Delta, 0, len(entries))
+	for _, e := range entries {
+		if e.Seq <= state.lastSeq {
+			continue
+		}
+		deltas = append(deltas, burst.PayloadDelta(e.Seq, e.Payload))
+	}
+	if len(deltas) > 0 {
+		if st.PushCatchUp(deltas...) != nil {
+			return false
+		}
+	}
+	if next.Seq > state.lastSeq {
+		state.lastSeq = next.Seq
+	}
+	in.rewriteResumeState(st, state, next)
+	return true
+}
+
+// rewriteResume persists the stream's resume state after a delivery. With
+// the durable log enabled both tokens (WAS sequence + log cursor) travel in
+// one rewrite frame; without it, only the legacy sequence field.
+func (in *messengerInstance) rewriteResume(st *brass.Stream, state *messengerStream) {
+	if in.rt.LogEnabled() && state.topic != "" {
+		if tail, ok := in.rt.LogTail(state.topic); ok {
+			in.rewriteResumeState(st, state, tail)
+			return
+		}
+	}
+	_ = st.RewriteHeaderField(burst.HdrResumeSeq, strconv.FormatUint(state.lastSeq, 10))
+}
+
+// rewriteResumeState writes HdrResumeSeq and HdrCursor in a SINGLE rewrite
+// frame: a failover between two separate single-field rewrites could strand
+// a stream carrying a seq and a cursor from different moments, and the
+// resubscribe would resume from an inconsistent pair.
+func (in *messengerInstance) rewriteResumeState(st *brass.Stream, state *messengerStream, c durlog.Cursor) {
+	h := st.Request().Header.Clone()
+	if h == nil {
+		h = burst.Header{}
+	}
+	h[burst.HdrResumeSeq] = strconv.FormatUint(state.lastSeq, 10)
+	h[burst.HdrCursor] = c.String()
+	_ = st.Rewrite(h, nil)
 }
 
 // catchUp polls the mailbox for messages after state.lastSeq and pushes
@@ -263,11 +366,17 @@ func (in *messengerInstance) catchUp(st *brass.Stream, state *messengerStream) {
 			continue
 		}
 		b, _ := json.Marshal(m)
+		if state.topic != "" {
+			// The log records every delivery decision, including the ones
+			// made from a WAS read: the next resume on this topic replays
+			// them from the edge instead.
+			in.rt.LogAppend(state.topic, m.Seq, b)
+		}
 		if st.PushPayload(m.Seq, b) == nil {
 			state.lastSeq = m.Seq
 		}
 	}
-	_ = st.RewriteHeaderField(burst.HdrResumeSeq, strconv.FormatUint(state.lastSeq, 10))
+	in.rewriteResume(st, state)
 }
 
 func (in *messengerInstance) OnStreamClose(st *brass.Stream, reason string) { st.State = nil }
@@ -283,16 +392,20 @@ func (in *messengerInstance) OnEvent(ev pylon.Event) {
 			// Duplicate (e.g. Pylon patch-forwarding): drop.
 			st.Filtered()
 		case ev.Seq == state.lastSeq+1:
-			// In order: fetch and push.
+			// In order: fetch and push. The log append happens BEFORE the
+			// push and regardless of its admission outcome: Push reports
+			// success even when the per-stream bucket sheds the payload, so
+			// the log is what makes a shed delta recoverable by the
+			// device's later cursor resume.
 			payload, err := st.FetchPayload(ev)
 			if err != nil {
 				st.Filtered()
 				continue
 			}
+			in.rt.LogAppend(ev.Topic, ev.Seq, payload)
 			if st.PushPayloadFor(ev, ev.Seq, payload) == nil {
 				state.lastSeq = ev.Seq
-				_ = st.RewriteHeaderField(burst.HdrResumeSeq,
-					strconv.FormatUint(state.lastSeq, 10))
+				in.rewriteResume(st, state)
 			}
 		default:
 			// Gap: a prior event was dropped somewhere. The BRASS

@@ -11,6 +11,7 @@ import (
 
 	"bladerunner/internal/burst"
 	"bladerunner/internal/cache"
+	"bladerunner/internal/durlog"
 	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
 	"bladerunner/internal/overload"
@@ -87,6 +88,17 @@ type HostConfig struct {
 	StreamDeliverRate float64
 	// StreamDeliverBurst is the per-stream bucket depth (0 = rate).
 	StreamDeliverBurst float64
+	// Durlog, when non-nil, gives the host a durable per-topic delta log
+	// (internal/durlog): applications listed in DurlogApps append every
+	// delivered delta and serve cursor catch-up reads from it, so a
+	// resuming stream replays the missed suffix from the edge instead of
+	// issuing a WAS point query. A nil Clock in the config takes the
+	// host's scheduler.
+	Durlog *durlog.Config
+	// DurlogApps names the applications the log is enabled for (per-app
+	// opt-in: Messenger wants durable resume; TypingIndicator, whose state
+	// is worthless milliseconds later, does not).
+	DurlogApps []string
 }
 
 // Host is one BRASS host: a multi-tenant machine running one instance per
@@ -126,6 +138,11 @@ type Host struct {
 	// Its Admitted/Shed counters are exported for tests and experiments.
 	Admit *overload.Admission
 
+	// dlog is the host's durable per-topic log (nil when disabled);
+	// dlogApps is the per-app opt-in set from HostConfig.DurlogApps.
+	dlog     *durlog.Log
+	dlogApps map[string]bool
+
 	// Metrics (exported so experiments and tests can assert on them).
 	Decisions          metrics.Counter
 	Deliveries         metrics.Counter
@@ -144,6 +161,9 @@ type Host struct {
 	CoalescedFetches   metrics.Counter // fetches that shared another caller's WAS read
 	FlowSignals        metrics.Counter // FlowDegraded/FlowRecovered control deltas emitted
 	StreamSheds        metrics.Counter // payload deltas shed by per-stream admission
+	LogResumes         metrics.Counter // cursor catch-up reads served from the durable log
+	LogExpired         metrics.Counter // cursor reads refused with ErrCursorExpired
+	LogCatchUpDeltas   metrics.Counter // payload deltas delivered via log catch-up batches
 }
 
 // subRetry is one topic's background re-subscription state.
@@ -191,6 +211,17 @@ func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Sc
 		// Seeded off the host identity so a fleet decorrelates its TTL
 		// refreshes deterministically.
 		h.payloadCache = cache.NewLRU[payloadKey, []byte](size, ttl, 0.25, sched, seed)
+	}
+	if cfg.Durlog != nil {
+		dcfg := *cfg.Durlog
+		if dcfg.Clock == nil {
+			dcfg.Clock = sched
+		}
+		h.dlog = durlog.New(dcfg)
+		h.dlogApps = make(map[string]bool, len(cfg.DurlogApps))
+		for _, app := range cfg.DurlogApps {
+			h.dlogApps[app] = true
+		}
 	}
 	if cfg.DeliverRate > 0 {
 		dburst := cfg.DeliverBurst
@@ -442,6 +473,11 @@ func (h *Host) unsubscribeTopic(topic pylon.Topic, inst *Instance) {
 		_ = h.pylon.Unsubscribe(topic, h.cfg.ID)
 	}
 }
+
+// DurLog returns the host's durable per-topic log (nil when disabled).
+// Tests and experiments read its counters; applications go through the
+// Runtime's Log* accessors instead.
+func (h *Host) DurLog() *durlog.Log { return h.dlog }
 
 // PendingSubs returns how many topics are awaiting a background Pylon
 // re-subscription (tests and experiments).

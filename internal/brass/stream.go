@@ -1,10 +1,12 @@
 package brass
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/durlog"
 	"bladerunner/internal/overload"
 	"bladerunner/internal/pylon"
 	"bladerunner/internal/socialgraph"
@@ -168,6 +170,32 @@ func (st *Stream) admitPayloads(deltas []burst.Delta) ([]burst.Delta, int) {
 		_ = st.burst.RewriteHeaderField(HdrAdmissionState, state)
 	}
 	return kept, payloads
+}
+
+// PushCatchUp sends payload deltas replayed from the durable log as one
+// atomic batch, BYPASSING per-stream admission. Catch-up is not live
+// fan-out: the deltas were already admitted (and possibly shed) once when
+// they were first delivered, and the whole point of a cursor resume is to
+// close the gap — running the replay through the admission bucket again
+// would shed it, emit a fresh marker, and trap the stream in a
+// shed→resume→shed livelock. The batch is bounded by the log window, so
+// the bypass cannot be abused for sustained over-rate delivery.
+func (st *Stream) PushCatchUp(deltas ...burst.Delta) error {
+	sp := st.startFlushSpan(firstTrace(deltas), len(deltas))
+	defer sp.End()
+	if err := st.burst.SendBatch(deltas...); err != nil {
+		sp.Annotate("error", "send-failed")
+		return err
+	}
+	n := 0
+	for _, d := range deltas {
+		if d.Type == burst.DeltaPayload {
+			n++
+		}
+	}
+	st.inst.host.Deliveries.Add(int64(n))
+	st.inst.host.LogCatchUpDeltas.Add(int64(n))
+	return nil
 }
 
 // startFlushSpan opens the burst.flush span covering the frame encode +
@@ -334,4 +362,65 @@ func (rt *Runtime) ResolveSubscription(viewer socialgraph.UserID, expr string) (
 func (rt *Runtime) Query(viewer socialgraph.UserID, expr string) ([]byte, error) {
 	rt.host.WASFetches.Inc()
 	return rt.host.was.QueryIn(rt.host.cfg.Region, viewer, expr)
+}
+
+// LogEnabled reports whether the host's durable log is configured AND
+// opted in for this instance's application. Apps must check it before the
+// other Log* accessors; with it false they fall back to WAS resync.
+func (rt *Runtime) LogEnabled() bool {
+	return rt.host.dlog != nil && rt.host.dlogApps[rt.inst.app.Name()]
+}
+
+// LogOpen ensures a durable-log topic exists (idempotent; no-op when the
+// log is disabled for this app).
+func (rt *Runtime) LogOpen(topic pylon.Topic) {
+	if rt.LogEnabled() {
+		rt.host.dlog.Open(string(topic))
+	}
+}
+
+// LogAppend records one delivered delta in the durable log (no-op when
+// disabled). It runs on the app's per-event delivery path.
+//
+//brlint:hotpath
+func (rt *Runtime) LogAppend(topic pylon.Topic, seq uint64, payload []byte) bool {
+	if rt.host.dlog == nil || !rt.host.dlogApps[rt.inst.app.Name()] {
+		return false
+	}
+	return rt.host.dlog.Append(string(topic), seq, payload)
+}
+
+// LogRead serves a cursor catch-up read: the gap-free suffix after c, or
+// durlog.ErrCursorExpired when the log cannot prove continuity (the app
+// then falls back to WAS resync — the log NEVER fabricates a cursor).
+func (rt *Runtime) LogRead(topic pylon.Topic, c durlog.Cursor) ([]durlog.Entry, durlog.Cursor, error) {
+	if !rt.LogEnabled() {
+		return nil, durlog.Cursor{}, durlog.ErrUnknownTopic
+	}
+	out, next, err := rt.host.dlog.ReadFrom(string(topic), c)
+	switch {
+	case err == nil:
+		rt.host.LogResumes.Inc()
+	case errors.Is(err, durlog.ErrCursorExpired):
+		rt.host.LogExpired.Inc()
+	}
+	return out, next, err
+}
+
+// LogTail returns the current live cursor for topic (what a client that
+// wants "live only, no backlog" should start from).
+func (rt *Runtime) LogTail(topic pylon.Topic) (durlog.Cursor, bool) {
+	if !rt.LogEnabled() {
+		return durlog.Cursor{}, false
+	}
+	return rt.host.dlog.TailCursor(string(topic))
+}
+
+// LogEarliest returns the cursor from which the entire retained window can
+// be replayed (late joiners reading the full backlog).
+func (rt *Runtime) LogEarliest(topic pylon.Topic) (durlog.Cursor, bool) {
+	if !rt.LogEnabled() {
+		return durlog.Cursor{}, false
+	}
+	return rt.host.dlog.EarliestCursor(string(topic))
 }

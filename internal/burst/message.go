@@ -52,6 +52,15 @@ const (
 	HdrResumeSeq = "resume-seq"
 	// HdrClientVersion expresses client capabilities to the BRASS.
 	HdrClientVersion = "client-version"
+	// HdrCursor is the durable-log resume cursor ("epoch.seq", or the
+	// sentinels internal/durlog accepts): the server rewrites it forward
+	// as deltas are delivered, the client clamps it down to what it
+	// actually applied before resubscribing, and the serving BRASS
+	// answers it with a gap-free log catch-up — or expires it, NEVER
+	// fabricating one (the client then falls back to a WAS resync). Like
+	// HdrAdmissionState it lives in the stored request, so failover
+	// rewrites and resubscriptions carry it across hosts.
+	HdrCursor = "cursor"
 	// HdrTraceStream is a stable stream identity stamped by the device at
 	// subscribe time. Rewrites and resubscriptions preserve it (rewrites
 	// patch individual keys; resubscribe replays the stored request), so

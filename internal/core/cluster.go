@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"bladerunner/internal/apps"
 	"bladerunner/internal/brass"
 	"bladerunner/internal/device"
+	"bladerunner/internal/durlog"
 	"bladerunner/internal/edge"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/pylon"
@@ -49,6 +51,11 @@ type Config struct {
 	// spans into the plane's per-process collectors. nil (the default)
 	// leaves all tracers nil — the zero-overhead configuration.
 	Trace *trace.Plane
+	// Durlog, when set, gives every BRASS host a durable per-topic log
+	// (internal/durlog) and enables cursor-based resume for the listed
+	// applications. nil (the default) keeps the pre-log behaviour: every
+	// recovery is a WAS resync.
+	Durlog *DurlogConfig
 	// Geo, when set, activates the multi-region plane: each region gets
 	// its own Pylon cluster (over its own subscription KV nodes) and TAO
 	// follower; devices are homed by user id; cross-region dials pay the
@@ -67,6 +74,22 @@ type OverloadConfig struct {
 	DeliverBurst       float64
 	StreamDeliverRate  float64
 	StreamDeliverBurst float64
+}
+
+// DurlogConfig selects the cluster-wide durable-log posture; the sizing
+// fields mirror durlog.Config (zero values take that package's defaults).
+type DurlogConfig struct {
+	// Apps names the applications that opt in. Empty defaults to
+	// Messenger only — the app whose updates are worth replaying later
+	// (TypingIndicator state is worthless milliseconds after the fact, so
+	// it stays out even when the log is on).
+	Apps []string
+	// HotBytes / Segments / SegmentEntries / Retention size each topic's
+	// slab ring; see durlog.Config.
+	HotBytes       int
+	Segments       int
+	SegmentEntries int
+	Retention      time.Duration
 }
 
 // DefaultConfig returns a small but fully wired deployment: 2 regions, 2
@@ -271,7 +294,7 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		}
 		for i := 0; i < cfg.BRASSHostsPerRegion; i++ {
 			id := fmt.Sprintf("brass-%s-%d", r, i)
-			h := brass.NewHost(brass.HostConfig{
+			hcfg := brass.HostConfig{
 				ID: id, Region: r, StickyRouting: cfg.StickyRouting,
 				Tracer:             cfg.Trace.Tracer(id),
 				LoopQueueDepth:     cfg.Overload.LoopQueueDepth,
@@ -279,7 +302,20 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 				DeliverBurst:       cfg.Overload.DeliverBurst,
 				StreamDeliverRate:  cfg.Overload.StreamDeliverRate,
 				StreamDeliverBurst: cfg.Overload.StreamDeliverBurst,
-			}, hostPylon, w, sched)
+			}
+			if cfg.Durlog != nil {
+				hcfg.Durlog = &durlog.Config{
+					HotBytes:       cfg.Durlog.HotBytes,
+					Segments:       cfg.Durlog.Segments,
+					SegmentEntries: cfg.Durlog.SegmentEntries,
+					Retention:      cfg.Durlog.Retention,
+				}
+				hcfg.DurlogApps = cfg.Durlog.Apps
+				if len(hcfg.DurlogApps) == 0 {
+					hcfg.DurlogApps = []string{apps.AppMessenger}
+				}
+			}
+			h := brass.NewHost(hcfg, hostPylon, w, sched)
 			suite.RegisterBRASS(h)
 			c.Hosts = append(c.Hosts, h)
 			brassByRegion[r] = append(brassByRegion[r], id)

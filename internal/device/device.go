@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/durlog"
 	"bladerunner/internal/edge"
 	"bladerunner/internal/faults"
 	"bladerunner/internal/metrics"
@@ -88,6 +89,14 @@ type Device struct {
 	// Resyncs counts shed-then-resync point queries issued after an
 	// upstream hop reported a shed gap.
 	Resyncs metrics.Counter
+	// ResyncCoalesced counts recovery triggers absorbed by one already in
+	// flight — shed markers that did NOT become an extra point query or
+	// resubscribe because the pending recovery covers them.
+	ResyncCoalesced metrics.Counter
+	// CursorResumes counts shed gaps repaired by resubscribing with the
+	// durable-log cursor (clamped to the applied seq) instead of a WAS
+	// point query — the log-backed recovery path.
+	CursorResumes metrics.Counter
 }
 
 // Stream is one application-level subscription held by the device. Its
@@ -123,6 +132,12 @@ type Stream struct {
 	resyncApply   func([]byte)
 	resyncPending bool
 	resyncAgain   bool
+
+	// cursorPending coalesces cursor resumes: while one is scheduled,
+	// further shed markers have nothing to add (the resubscribe replays
+	// the whole clamped-cursor suffix, so there is no trailing re-run to
+	// queue, unlike point-query resyncs).
+	cursorPending bool
 }
 
 // New builds a device. dialer reaches POP targets; wasrv serves the initial
@@ -360,6 +375,15 @@ func (st *Stream) resubscribe(cli *burst.Client) {
 	if st.cur != nil {
 		st.req = st.cur.Request()
 	}
+	// Clamp the durable-log cursor to what this device actually APPLIED:
+	// the server rewrote it forward as it delivered, but deltas past
+	// st.seq died with the session. Lowering an over-claim is always
+	// safe (the server re-serves a prefix the device dedups); raising
+	// one would fabricate progress, which nothing in the system ever
+	// does — Clamp only lowers.
+	if c := st.req.Header[burst.HdrCursor]; c != "" {
+		st.req.Header[burst.HdrCursor] = durlog.Clamp(c, st.seq)
+	}
 	req := st.req
 	st.mu.Unlock()
 
@@ -456,10 +480,20 @@ func (st *Stream) pump(cs *burst.ClientStream) {
 				if (delta.Flow == burst.FlowDegraded && overload.IsShedMarker(delta.FlowDetail)) ||
 					(delta.Flow == burst.FlowRecovered && overload.IsRecoveredMarker(delta.FlowDetail)) {
 					// An upstream hop dropped deltas: the gap is not
-					// trustworthy, so re-fetch via point query. The episode's
-					// CLOSE triggers one too — deltas shed after the onset
-					// resync's snapshot are only visible now.
-					st.triggerResync()
+					// trustworthy. If the stored request carries a durable-log
+					// cursor the gap is repairable from the edge — resubscribe
+					// with the clamped cursor and let the serving BRASS replay
+					// the suffix. Otherwise re-fetch via point query. The
+					// episode's CLOSE triggers one too — deltas shed after the
+					// onset recovery's snapshot are only visible now. The
+					// routing check is sound because the BRASS rewrites the
+					// cursor into the stored request during stream open,
+					// BEFORE any live delivery can shed.
+					if cs.Request().Header[burst.HdrCursor] != "" {
+						st.triggerCursorResume()
+					} else {
+						st.triggerResync()
+					}
 				}
 				st.pushFlow(delta.Flow)
 			case burst.DeltaTermination:
@@ -530,6 +564,7 @@ func (st *Stream) triggerResync() {
 	}
 	if st.resyncPending {
 		st.resyncAgain = true
+		st.dev.ResyncCoalesced.Inc()
 		st.mu.Unlock()
 		return
 	}
@@ -572,6 +607,53 @@ func (st *Stream) runResync() {
 		if again {
 			st.runResync()
 		}
+	})
+}
+
+// triggerCursorResume repairs a shed gap from the durable log: cancel the
+// current client stream and resubscribe with the stored request, whose
+// cursor (clamped to the applied seq by resubscribe) the serving BRASS
+// answers with a gap-free catch-up batch. Triggers arriving while one
+// resume is scheduled coalesce away entirely — the resubscribe replays
+// everything after the clamped cursor, so there is nothing left for a
+// trailing re-run to pick up.
+func (st *Stream) triggerCursorResume() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	if st.cursorPending {
+		st.dev.ResyncCoalesced.Inc()
+		st.mu.Unlock()
+		return
+	}
+	st.cursorPending = true
+	st.mu.Unlock()
+	d := st.dev
+	d.sched.After(0, func() {
+		st.mu.Lock()
+		st.cursorPending = false
+		closed := st.closed
+		cur := st.cur
+		st.mu.Unlock()
+		if closed {
+			return
+		}
+		d.mu.Lock()
+		cli := d.client
+		ok := d.connected && !d.closed && cli != nil
+		d.mu.Unlock()
+		if !ok {
+			// Session down: the reconnect path resubscribes every stream
+			// with its stored request, which carries the cursor anyway.
+			return
+		}
+		if cur != nil {
+			_ = cur.Cancel("cursor-resume")
+		}
+		d.CursorResumes.Inc()
+		st.resubscribe(cli)
 	})
 }
 

@@ -1,0 +1,61 @@
+package durlog
+
+import (
+	"testing"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// BenchmarkDurlogAppend is the runtime twin of the //brlint:hotpath
+// annotation on Append: steady-state appends (slab writes, rotations,
+// structural evictions, retention checks all exercised as the ring
+// cycles) must stay at 0 allocs/op. CI gates on the allocs column.
+func BenchmarkDurlogAppend(b *testing.B) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(Config{
+		Clock:          clk,
+		HotBytes:       16 << 10,
+		SegmentEntries: 256,
+		Segments:       4,
+		Retention:      time.Minute,
+	})
+	const topic = "/MB/bench"
+	l.Open(topic)
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(topic, uint64(i+1), payload)
+	}
+	b.StopTimer()
+	if got := l.Appends.Value(); got != int64(b.N) {
+		b.Fatalf("appended %d, want %d", got, b.N)
+	}
+}
+
+// BenchmarkDurlogReadFrom sizes the catch-up read cost (control path —
+// allocations expected and acceptable).
+func BenchmarkDurlogReadFrom(b *testing.B) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(Config{Clock: clk})
+	const topic = "/MB/bench"
+	l.Open(topic)
+	payload := make([]byte, 96)
+	for seq := uint64(1); seq <= 512; seq++ {
+		l.Append(topic, seq, payload)
+	}
+	c, _ := l.EarliestCursor(topic)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.ReadFrom(topic, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package durlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// TestCrashMidRotationRecovery is the seeded crash-recovery test the CI
+// durlog-smoke job pins: the CrashHook panics mid-rotation (at a seeded
+// rotation ordinal and phase, so both the sealed-but-not-recycled and
+// recycled-but-unwritten interleavings are exercised across seeds), and
+// the log is rebuilt from the last Checkpoint — the durable image, which
+// by construction trails the in-memory hot segment. Recovery must:
+//
+//   - preserve the topic's continuity epoch;
+//   - serve every cursor inside the recovered window gap-free;
+//   - EXPIRE every cursor past the recovered (regressed) tail — the
+//     sequences lost in the crash must never be silently skipped;
+//   - absorb the live stream resuming past the crash point through the
+//     ordinary gap reset, serving the new window under a new epoch.
+func TestCrashMidRotationRecovery(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if env := os.Getenv("BR_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("BR_CHAOS_SEED %q: %v", env, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCrashRecovery(t, seed)
+		})
+	}
+}
+
+func runCrashRecovery(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	const topic = "/MB/7"
+
+	crashRotation := 3 + rng.Intn(6)
+	crashPhase := RotatePhase(rng.Intn(2))
+	type crashSignal struct{}
+	rotations := 0
+	cfg := Config{
+		Clock:          clk,
+		HotBytes:       256,
+		SegmentEntries: 8,
+		Segments:       3,
+		Retention:      -1,
+		CrashHook: func(_ string, phase RotatePhase) {
+			if phase == crashPhase {
+				rotations++
+				if rotations == crashRotation {
+					panic(crashSignal{})
+				}
+			}
+		},
+	}
+	l := New(cfg)
+	l.Open(topic)
+
+	mirror := make(map[uint64][]byte)
+	var tail, snapTail uint64
+	var lastSnap []byte
+
+	crashed := false
+	appendOne := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		tail++
+		p := []byte(fmt.Sprintf("m-%d-%d", seed, tail))
+		mirror[tail] = p
+		l.Append(topic, tail, p)
+	}
+
+	for !crashed && tail < 2000 {
+		appendOne()
+		if !crashed && tail%16 == 0 {
+			lastSnap = l.Checkpoint() // the periodic "fsync"
+			snapTail = tail
+		}
+	}
+	if !crashed {
+		t.Fatalf("crash never fired (rotation %d phase %d, tail %d)", crashRotation, crashPhase, tail)
+	}
+	if lastSnap == nil {
+		t.Fatal("crashed before the first checkpoint; lower the crash ordinal")
+	}
+	preCrashEpoch, _, _, _ := l.Window(topic)
+
+	// The machine restarts: a fresh log recovered from the durable image.
+	rcfg := cfg
+	rcfg.CrashHook = nil
+	l2 := New(rcfg)
+	if err := l2.Recover(lastSnap); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	epoch, floor, rtail, ok := l2.Window(topic)
+	if !ok {
+		t.Fatal("recovered log lost the topic")
+	}
+	if epoch != preCrashEpoch {
+		t.Fatalf("epoch not preserved: %d vs %d", epoch, preCrashEpoch)
+	}
+	if rtail != snapTail {
+		t.Fatalf("recovered tail %d, durable tail %d", rtail, snapTail)
+	}
+
+	// Every cursor position: gap-free inside the window, expired outside
+	// — including the crash-lost suffix (snapTail, tail].
+	for seq := uint64(0); seq <= tail+3; seq++ {
+		out, next, err := l2.ReadFrom(topic, Cursor{Epoch: epoch, Seq: seq})
+		if seq+1 < floor || seq > rtail {
+			if !errors.Is(err, ErrCursorExpired) {
+				t.Fatalf("cursor %d outside window [%d,%d]: err = %v", seq, floor, rtail, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cursor %d inside window: %v", seq, err)
+		}
+		if next.Seq != rtail {
+			t.Fatalf("cursor %d: next %d, want recovered tail %d", seq, next.Seq, rtail)
+		}
+		want := seq + 1
+		for _, e := range out {
+			if e.Seq != want || !bytes.Equal(e.Payload, mirror[e.Seq]) {
+				t.Fatalf("cursor %d: gap or corruption at seq %d (want %d)", seq, e.Seq, want)
+			}
+			want++
+		}
+		if want != rtail+1 {
+			t.Fatalf("cursor %d: batch ended at %d, want %d", seq, want-1, rtail)
+		}
+	}
+
+	// The live stream resumes past the crash point: the gap reset must
+	// expire the stale window rather than bridge the lost suffix.
+	resume := tail + 1
+	p := []byte(fmt.Sprintf("m-%d-%d", seed, resume))
+	mirror[resume] = p
+	if !l2.Append(topic, resume, p) {
+		t.Fatal("post-recovery append failed")
+	}
+	if _, _, err := l2.ReadFrom(topic, Cursor{Epoch: epoch, Seq: snapTail}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("pre-crash cursor after live resume: err = %v", err)
+	}
+	epoch2, floor2, tail2, _ := l2.Window(topic)
+	if epoch2 == epoch || floor2 != resume || tail2 != resume {
+		t.Fatalf("post-resume window = epoch %d floor %d tail %d", epoch2, floor2, tail2)
+	}
+	out, _, err := l2.ReadFrom(topic, Cursor{Epoch: epoch2, Seq: resume - 1})
+	if err != nil || len(out) != 1 || out[0].Seq != resume {
+		t.Fatalf("post-resume read = %v, %v", out, err)
+	}
+}

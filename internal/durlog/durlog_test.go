@@ -1,0 +1,305 @@
+package durlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+func testConfig(clk sim.Clock) Config {
+	return Config{
+		Clock:          clk,
+		HotBytes:       64,
+		SegmentEntries: 4,
+		Segments:       3,
+		Retention:      time.Minute,
+	}
+}
+
+func payload(seq uint64) []byte { return []byte(fmt.Sprintf("m-%d", seq)) }
+
+func mustRead(t *testing.T, l *Log, topic string, c Cursor) ([]Entry, Cursor) {
+	t.Helper()
+	out, next, err := l.ReadFrom(topic, c)
+	if err != nil {
+		t.Fatalf("ReadFrom(%v): %v", c, err)
+	}
+	return out, next
+}
+
+func TestAppendAndReadBasic(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk))
+	l.Open("/T/1")
+
+	if l.Append("/T/unopened", 1, payload(1)) {
+		t.Fatal("append on unopened topic succeeded")
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !l.Append("/T/1", seq, payload(seq)) {
+			t.Fatalf("append %d failed", seq)
+		}
+	}
+	if l.Append("/T/1", 2, payload(2)) {
+		t.Fatal("duplicate append succeeded")
+	}
+	if got := l.Dups.Value(); got != 1 {
+		t.Fatalf("Dups = %d, want 1", got)
+	}
+
+	out, next := mustRead(t, l, "/T/1", Cursor{Epoch: 1, Seq: 0})
+	if len(out) != 3 {
+		t.Fatalf("got %d entries, want 3", len(out))
+	}
+	for i, e := range out {
+		if e.Seq != uint64(i+1) || !bytes.Equal(e.Payload, payload(e.Seq)) {
+			t.Fatalf("entry %d = {%d %q}", i, e.Seq, e.Payload)
+		}
+	}
+	if next != (Cursor{Epoch: 1, Seq: 3}) {
+		t.Fatalf("next cursor = %v", next)
+	}
+
+	// Caught-up cursor: empty batch, same tail.
+	out, next = mustRead(t, l, "/T/1", next)
+	if len(out) != 0 || next.Seq != 3 {
+		t.Fatalf("caught-up read: %d entries, next %v", len(out), next)
+	}
+
+	// Unknown topic.
+	if _, _, err := l.ReadFrom("/T/none", Cursor{Epoch: 1}); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("unknown topic err = %v", err)
+	}
+	// Wrong epoch.
+	if _, _, err := l.ReadFrom("/T/1", Cursor{Epoch: 9, Seq: 1}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("wrong-epoch err = %v", err)
+	}
+	// Beyond the tail (e.g. minted before a crash truncation).
+	if _, _, err := l.ReadFrom("/T/1", Cursor{Epoch: 1, Seq: 99}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("beyond-tail err = %v", err)
+	}
+}
+
+func TestRotationAndStructuralEviction(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk)) // 3 slabs x 4 entries
+	l.Open("/T/1")
+
+	// 12 entries fill the ring exactly; the 13th evicts the eldest slab.
+	for seq := uint64(1); seq <= 13; seq++ {
+		if !l.Append("/T/1", seq, payload(seq)) {
+			t.Fatalf("append %d failed", seq)
+		}
+	}
+	if l.Evictions.Value() == 0 {
+		t.Fatal("no structural eviction after overfilling the ring")
+	}
+	_, floor, tail, _ := l.Window("/T/1")
+	if tail != 13 {
+		t.Fatalf("tail = %d, want 13", tail)
+	}
+	if floor != 5 {
+		t.Fatalf("floor = %d, want 5 (eldest slab 1..4 evicted)", floor)
+	}
+
+	// A cursor inside the window reads gap-free to the tail.
+	out, next := mustRead(t, l, "/T/1", Cursor{Epoch: 1, Seq: 6})
+	want := uint64(7)
+	for _, e := range out {
+		if e.Seq != want {
+			t.Fatalf("gap: got seq %d, want %d", e.Seq, want)
+		}
+		want++
+	}
+	if next.Seq != 13 || want != 14 {
+		t.Fatalf("read ended at %d / next %v", want-1, next)
+	}
+
+	// A cursor below floor-1 expired.
+	if _, _, err := l.ReadFrom("/T/1", Cursor{Epoch: 1, Seq: 3}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("pre-floor cursor err = %v", err)
+	}
+	// floor-1 is the earliest servable position.
+	ec, ok := l.EarliestCursor("/T/1")
+	if !ok || ec.Seq != floor-1 {
+		t.Fatalf("EarliestCursor = %v, %v", ec, ok)
+	}
+	if out, _ := mustRead(t, l, "/T/1", ec); len(out) == 0 || out[0].Seq != floor {
+		t.Fatalf("earliest read starts at %d entries", len(out))
+	}
+}
+
+func TestRetentionExpiry(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk))
+	l.Open("/T/1")
+
+	for seq := uint64(1); seq <= 5; seq++ { // slab 1..4 sealed, 5 hot
+		l.Append("/T/1", seq, payload(seq))
+	}
+	clk.Advance(2 * time.Minute) // past the 1m retention
+	// The next append expires the sealed slab before writing.
+	l.Append("/T/1", 6, payload(6))
+	if l.Expirations.Value() == 0 {
+		t.Fatal("no retention expiry")
+	}
+	if _, _, err := l.ReadFrom("/T/1", Cursor{Epoch: 1, Seq: 2}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("expired-window cursor err = %v", err)
+	}
+	out, _ := mustRead(t, l, "/T/1", Cursor{Epoch: 1, Seq: 4})
+	if len(out) != 2 || out[0].Seq != 5 || out[1].Seq != 6 {
+		t.Fatalf("post-expiry window = %v", out)
+	}
+}
+
+func TestGapResetBumpsEpoch(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk))
+	l.Open("/T/1")
+	l.Append("/T/1", 1, payload(1))
+	l.Append("/T/1", 2, payload(2))
+
+	// Sequence 3..9 never appended: the log must refuse to bridge.
+	l.Append("/T/1", 10, payload(10))
+	if l.GapResets.Value() != 1 {
+		t.Fatalf("GapResets = %d", l.GapResets.Value())
+	}
+	if _, _, err := l.ReadFrom("/T/1", Cursor{Epoch: 1, Seq: 2}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("pre-gap cursor err = %v", err)
+	}
+	epoch, floor, tail, _ := l.Window("/T/1")
+	if epoch != 2 || floor != 10 || tail != 10 {
+		t.Fatalf("window after gap = epoch %d floor %d tail %d", epoch, floor, tail)
+	}
+	out, next := mustRead(t, l, "/T/1", Cursor{Epoch: 2, Seq: 9})
+	if len(out) != 1 || out[0].Seq != 10 || next.Seq != 10 {
+		t.Fatalf("post-gap read = %v next %v", out, next)
+	}
+}
+
+func TestMidStreamFirstAppend(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk))
+	l.Open("/T/1")
+	// A host that opens the topic mid-stream starts at the live sequence.
+	l.Append("/T/1", 500, payload(500))
+	l.Append("/T/1", 501, payload(501))
+	_, floor, tail, _ := l.Window("/T/1")
+	if floor != 500 || tail != 501 {
+		t.Fatalf("window = floor %d tail %d", floor, tail)
+	}
+}
+
+func TestOversizedPayloadPoisonsWindow(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk))
+	l.Open("/T/1")
+	l.Append("/T/1", 1, payload(1))
+	big := make([]byte, 1024) // > HotBytes 64
+	if l.Append("/T/1", 2, big) {
+		t.Fatal("oversized append succeeded")
+	}
+	if l.Oversized.Value() != 1 {
+		t.Fatalf("Oversized = %d", l.Oversized.Value())
+	}
+	// Neither the old window nor the poisoned seq is servable...
+	if _, _, err := l.ReadFrom("/T/1", Cursor{Epoch: 1, Seq: 1}); !errors.Is(err, ErrCursorExpired) {
+		t.Fatalf("post-poison cursor err = %v", err)
+	}
+	// ...but the stream recovers once delivery continues.
+	l.Append("/T/1", 3, payload(3))
+	epoch, _, _, _ := l.Window("/T/1")
+	out, _ := mustRead(t, l, "/T/1", Cursor{Epoch: epoch, Seq: 2})
+	if len(out) != 1 || out[0].Seq != 3 {
+		t.Fatalf("post-poison recovery read = %v", out)
+	}
+}
+
+func TestCursorParseAndClamp(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+		c  Cursor
+	}{
+		{"1.5", true, Cursor{1, 5}},
+		{"0.0", true, Cursor{0, 0}},
+		{"18446744073709551615.1", true, Cursor{^uint64(0), 1}},
+		{SentinelEarliest, false, Cursor{}},
+		{SentinelLive, false, Cursor{}},
+		{"", false, Cursor{}},
+		{"5", false, Cursor{}},
+		{".5", false, Cursor{}},
+		{"5.", false, Cursor{}},
+		{"a.b", false, Cursor{}},
+		{"1.2.3", false, Cursor{}},
+		{"-1.2", false, Cursor{}},
+	}
+	for _, tc := range cases {
+		c, ok := Parse(tc.in)
+		if ok != tc.ok || c != tc.c {
+			t.Errorf("Parse(%q) = %v, %v; want %v, %v", tc.in, c, ok, tc.c, tc.ok)
+		}
+		if tc.ok {
+			if rt := c.String(); rt != tc.in {
+				t.Errorf("round trip %q -> %q", tc.in, rt)
+			}
+		}
+	}
+
+	// Clamp lowers over-claims, passes everything else through.
+	if got := Clamp("1.9", 5); got != "1.5" {
+		t.Errorf("Clamp(1.9, 5) = %q", got)
+	}
+	if got := Clamp("1.3", 5); got != "1.3" {
+		t.Errorf("Clamp(1.3, 5) = %q", got)
+	}
+	if got := Clamp(SentinelEarliest, 5); got != SentinelEarliest {
+		t.Errorf("Clamp(earliest, 5) = %q", got)
+	}
+	if got := Clamp("junk", 5); got != "junk" {
+		t.Errorf("Clamp(junk, 5) = %q", got)
+	}
+}
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(testConfig(clk))
+	l.Open("/T/1")
+	l.Open("/T/2")
+	for seq := uint64(1); seq <= 7; seq++ {
+		l.Append("/T/1", seq, payload(seq))
+	}
+	l.Append("/T/2", 100, payload(100)) // mid-stream topic, epoch 2
+
+	snap := l.Checkpoint()
+
+	l2 := New(testConfig(clk))
+	if err := l2.Recover(snap); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	for _, topic := range []string{"/T/1", "/T/2"} {
+		e1, f1, t1, _ := l.Window(topic)
+		e2, f2, t2, _ := l2.Window(topic)
+		if e1 != e2 || f1 != f2 || t1 != t2 {
+			t.Fatalf("%s: window mismatch (%d %d %d) vs (%d %d %d)", topic, e1, f1, t1, e2, f2, t2)
+		}
+		ec, _ := l.EarliestCursor(topic)
+		o1, n1 := mustRead(t, l, topic, ec)
+		o2, n2 := mustRead(t, l2, topic, ec)
+		if len(o1) != len(o2) || n1 != n2 {
+			t.Fatalf("%s: recovered read mismatch", topic)
+		}
+		for i := range o1 {
+			if o1[i].Seq != o2[i].Seq || !bytes.Equal(o1[i].Payload, o2[i].Payload) {
+				t.Fatalf("%s: entry %d mismatch", topic, i)
+			}
+		}
+	}
+	if err := l2.Recover(snap); err == nil {
+		t.Fatal("Recover on a populated log succeeded")
+	}
+}

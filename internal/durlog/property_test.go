@@ -1,0 +1,169 @@
+package durlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"bladerunner/internal/sim"
+)
+
+// TestCursorProperty is the fuzz-ish cursor soundness proof the issue
+// asks for: a seeded op stream (contiguous appends, dup replays, gaps,
+// clock advances past retention, ring-overflow bursts, and failover-style
+// header rewrites clamped by the client rule) runs against a plain map
+// mirror, and after every read the two invariants that define the
+// subsystem are checked:
+//
+//  1. gap-free: a successful ReadFrom(c) returns exactly the sequences
+//     c.Seq+1 .. tail, each byte-identical to what was appended — never
+//     a batch with a hole papered over;
+//  2. never fabricate: the returned cursor names the real appended tail,
+//     and any cursor the log cannot prove continuous with its window
+//     (wrong epoch, pre-retention, post-truncation) fails with
+//     ErrCursorExpired rather than being "repaired".
+func TestCursorProperty(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if env := os.Getenv("BR_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("BR_CHAOS_SEED %q: %v", env, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCursorProperty(t, seed)
+		})
+	}
+}
+
+func runCursorProperty(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	l := New(Config{
+		Clock:          clk,
+		HotBytes:       128,
+		SegmentEntries: 8,
+		Segments:       3,
+		Retention:      time.Minute,
+	})
+	const topic = "/MB/1"
+	l.Open(topic)
+
+	mirror := make(map[uint64][]byte) // every seq ever appended
+	var tail uint64
+
+	appendNext := func() {
+		tail++
+		p := []byte(fmt.Sprintf("payload-%d-%d", seed, tail))
+		l.Append(topic, tail, p)
+		mirror[tail] = p
+	}
+
+	checkRead := func(c Cursor, label string) {
+		out, next, err := l.ReadFrom(topic, c)
+		if errors.Is(err, ErrCursorExpired) {
+			return // refusing is always sound
+		}
+		if err != nil {
+			t.Fatalf("%s: ReadFrom(%v): %v", label, c, err)
+		}
+		// Never fabricate: the returned cursor is the real tail.
+		if next.Seq != tail {
+			t.Fatalf("%s: next cursor seq %d, real tail %d", label, next.Seq, tail)
+		}
+		// Gap-free: exactly c.Seq+1 .. tail, byte-identical.
+		want := c.Seq + 1
+		for _, e := range out {
+			if e.Seq != want {
+				t.Fatalf("%s: ReadFrom(%v) gap: got seq %d, want %d", label, c, e.Seq, want)
+			}
+			if !bytes.Equal(e.Payload, mirror[e.Seq]) {
+				t.Fatalf("%s: seq %d payload corrupted", label, e.Seq)
+			}
+			want++
+		}
+		if want != tail+1 {
+			t.Fatalf("%s: ReadFrom(%v) stopped at %d, tail %d", label, c, want-1, tail)
+		}
+	}
+
+	for op := 0; op < 4000; op++ {
+		switch r := rng.Intn(100); {
+		case r < 55: // contiguous append (the common delivery)
+			appendNext()
+		case r < 62: // duplicate replay (a second stream on the topic)
+			if tail > 0 {
+				dup := tail - uint64(rng.Intn(int(min64(tail, 8))))
+				l.Append(topic, dup, mirror[dup])
+			}
+		case r < 67: // gap: deliveries the host never saw
+			tail += uint64(2 + rng.Intn(10))
+			p := []byte(fmt.Sprintf("payload-%d-%d", seed, tail))
+			l.Append(topic, tail, p)
+			mirror[tail] = p
+		case r < 75: // clock advance, sometimes past retention
+			clk.Advance(time.Duration(rng.Intn(90)) * time.Second)
+		case r < 85: // resume from a plausible recent cursor
+			epoch, _, _, _ := l.Window(topic)
+			back := uint64(rng.Intn(24))
+			seq := tail
+			if back < seq {
+				seq -= back
+			} else {
+				seq = 0
+			}
+			checkRead(Cursor{Epoch: epoch, Seq: seq}, "recent")
+		case r < 92: // failover rewrite: the server-advanced header cursor
+			// comes back clamped by the client's applied seq.
+			epoch, _, _, _ := l.Window(topic)
+			advanced := Cursor{Epoch: epoch, Seq: tail + uint64(rng.Intn(5))}
+			applied := uint64(0)
+			if tail > 0 {
+				applied = uint64(rng.Intn(int(tail + 1)))
+			}
+			clamped, ok := Parse(Clamp(advanced.String(), applied))
+			if !ok {
+				t.Fatalf("clamped cursor unparseable")
+			}
+			if clamped.Seq > applied {
+				t.Fatalf("Clamp raised the claim: %v > %d", clamped, applied)
+			}
+			checkRead(clamped, "failover-clamped")
+		default: // adversarial cursor: wrong epoch / ancient / beyond tail
+			c := Cursor{Epoch: uint64(rng.Intn(4)), Seq: uint64(rng.Intn(int(tail + 10)))}
+			checkRead(c, "adversarial")
+		}
+	}
+
+	// Final sweep: every cursor position in [0, tail+3] either serves
+	// gap-free or expires; positions beyond the tail always expire.
+	epoch, _, _, _ := l.Window(topic)
+	lo := uint64(0)
+	if tail > 64 {
+		lo = tail - 64
+	}
+	for seq := lo; seq <= tail+3; seq++ {
+		c := Cursor{Epoch: epoch, Seq: seq}
+		if seq > tail {
+			if _, _, err := l.ReadFrom(topic, c); !errors.Is(err, ErrCursorExpired) {
+				t.Fatalf("beyond-tail cursor %v err = %v", c, err)
+			}
+			continue
+		}
+		checkRead(c, "sweep")
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

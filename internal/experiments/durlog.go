@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"bladerunner/internal/apps"
+	"bladerunner/internal/core"
+	"bladerunner/internal/sim"
+	"bladerunner/internal/socialgraph"
+)
+
+// DurlogResume reruns the overload storm on the LIVE stack twice — once in
+// the pre-log posture, where every shed episode is repaired by a device
+// point query against the WAS (shed-then-resync), and once with the
+// durable per-topic log enabled for Messenger, where the BRASS appends
+// every delivery decision to its edge log and the device repairs shed gaps
+// by resubscribing from its cursor. The legacy resync machinery stays
+// installed in BOTH runs; with the log on it must go unused — the run
+// measures backend point queries going to ~0 while the view still
+// converges gap-free.
+func DurlogResume(seed int64) Result { return DurlogResumeOn(sim.RealClock{}, seed) }
+
+// DurlogResumeOn is DurlogResume on an explicit scheduler.
+func DurlogResumeOn(sched sim.Scheduler, seed int64) Result {
+	const (
+		authorUID = socialgraph.UserID(90)
+		viewerUID = socialgraph.UserID(10)
+		storm     = 150
+		deadline  = 30 * time.Second
+	)
+
+	type outcome struct {
+		sent          uint64
+		sheds         int64
+		resyncs       int64
+		cursorResumes int64
+		coalesced     int64
+		pointQueries  int64
+		logResumes    int64
+		logCatchUp    int64
+		logAppends    int64
+		converged     bool
+		fail          string
+	}
+
+	run := func(durable bool) (o outcome) {
+		cfg := core.DefaultConfig()
+		cfg.Graph.Users = 100
+		cfg.Graph.BlockProb = 0
+		// The aggressive overload posture from the chaos suite: a
+		// per-stream delivery budget far under the storm rate guarantees
+		// shedding, which is what both repair paths exist to fix.
+		cfg.Overload = core.OverloadConfig{
+			LoopQueueDepth:     16,
+			StreamDeliverRate:  25,
+			StreamDeliverBurst: 4,
+		}
+		if durable {
+			cfg.Durlog = &core.DurlogConfig{}
+		}
+		c, err := core.NewCluster(cfg, nil)
+		if err != nil {
+			o.fail = err.Error()
+			return o
+		}
+		defer c.Close()
+
+		author := c.NewDevice(authorUID)
+		viewer := c.NewDevice(viewerUID)
+		defer author.Close()
+		defer viewer.Close()
+		if err := viewer.Connect(); err != nil {
+			o.fail = err.Error()
+			return o
+		}
+		st, err := viewer.Subscribe(apps.AppMessenger, "messenger", nil)
+		if err != nil {
+			o.fail = err.Error()
+			return o
+		}
+
+		var (
+			mu   sync.Mutex
+			seqs = make(map[uint64]bool)
+		)
+		note := func(seq uint64) {
+			mu.Lock()
+			seqs[seq] = true
+			mu.Unlock()
+		}
+		hasAll := func(n uint64) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			for s := uint64(1); s <= n; s++ {
+				if !seqs[s] {
+					return false
+				}
+			}
+			return true
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for d := range st.Updates {
+				var m apps.MessagePayload
+				if json.Unmarshal(d.Payload, &m) == nil {
+					note(m.Seq)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for range st.Flow {
+			}
+		}()
+		// Legacy shed-then-resync, installed either way: the durable-log
+		// run must leave it idle.
+		st.SetResync(
+			func(lastSeq uint64) string { return fmt.Sprintf("mailboxSince(seq: %d)", lastSeq) },
+			func(out []byte) {
+				var msgs []apps.MessagePayload
+				if json.Unmarshal(out, &msgs) != nil {
+					return
+				}
+				for _, m := range msgs {
+					note(m.Seq)
+				}
+			},
+		)
+
+		var thread uint64
+		out, err := author.Mutate(fmt.Sprintf(`createThread(members: "%d,%d")`, authorUID, viewerUID))
+		if err != nil {
+			o.fail = err.Error()
+			return o
+		}
+		_ = json.Unmarshal(out, &thread)
+
+		waitUntil := func(cond func() bool) bool {
+			limit := sched.Now().Add(deadline)
+			for !cond() {
+				if sched.Now().After(limit) {
+					return false
+				}
+				sim.Sleep(sched, time.Millisecond)
+			}
+			return true
+		}
+		if !waitUntil(func() bool {
+			return len(c.Pylon.Subscribers(apps.MailboxTopic(viewerUID))) >= 1
+		}) {
+			o.fail = "subscription never registered"
+			return o
+		}
+
+		send := func(text string) {
+			if _, err := author.Mutate(fmt.Sprintf(`sendMessage(threadID: %d, text: "%s")`, thread, text)); err == nil {
+				o.sent++
+			}
+		}
+		send("baseline")
+		if !waitUntil(func() bool { return hasAll(o.sent) }) {
+			o.fail = "baseline never delivered"
+			return o
+		}
+
+		for i := 0; i < storm; i++ {
+			send(fmt.Sprintf("storm-%d", i))
+		}
+
+		// Post-storm trickle: each message is under the admission rate, so
+		// it lands, closes open shed episodes, and drives whichever repair
+		// path is active until the view is gap-free.
+		limit := sched.Now().Add(deadline)
+		for !hasAll(o.sent) && sched.Now().Before(limit) {
+			send("trickle")
+			sim.Sleep(sched, 50*time.Millisecond)
+		}
+		o.converged = hasAll(o.sent)
+
+		for _, h := range c.Hosts {
+			o.sheds += h.StreamSheds.Value() + h.LoopOverflows.Value()
+			o.logResumes += h.LogResumes.Value()
+			o.logCatchUp += h.LogCatchUpDeltas.Value()
+			if l := h.DurLog(); l != nil {
+				o.logAppends += l.Appends.Value()
+			}
+		}
+		o.resyncs = viewer.Resyncs.Value()
+		o.cursorResumes = viewer.CursorResumes.Value()
+		o.coalesced = viewer.ResyncCoalesced.Value()
+		o.pointQueries = c.WAS.PointQueries.Value()
+
+		viewer.Close()
+		author.Close()
+		wg.Wait()
+		return o
+	}
+
+	off := run(false)
+	on := run(true)
+
+	r := Result{ID: "durlog", Title: fmt.Sprintf(
+		"Durable-log resume: overload storm (%d msgs over a 25/s stream budget), WAS resync vs cursor resume", storm)}
+	if off.fail != "" || on.fail != "" {
+		r.AddRow("ERROR", "-", off.fail+on.fail, "run aborted")
+		return r
+	}
+	b := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	r.AddRow("gap-free convergence (off / on)", "-",
+		fmt.Sprintf("%s / %s", b(off.converged), b(on.converged)),
+		"both postures must close every shed gap")
+	r.AddRow("stream sheds (off / on)", "-",
+		fmt.Sprintf("%d / %d", off.sheds, on.sheds),
+		"the storm must actually shed for the comparison to mean anything")
+	r.AddRow("WAS point queries, log off", "-", fmt.Sprintf("%d", off.pointQueries),
+		"every shed episode re-reads the mailbox from the backend")
+	r.AddRow("WAS point queries, log on", "~0", fmt.Sprintf("%d", on.pointQueries),
+		"shed gaps replay from the edge log instead")
+	r.AddRow("device point resyncs (off / on)", "-",
+		fmt.Sprintf("%d / %d", off.resyncs, on.resyncs), "")
+	r.AddRow("device cursor resumes, log on", "-", fmt.Sprintf("%d", on.cursorResumes),
+		"cancel + resubscribe from the clamped cursor")
+	r.AddRow("recovery triggers coalesced (off / on)", "-",
+		fmt.Sprintf("%d / %d", off.coalesced, on.coalesced),
+		"markers absorbed by an already-pending repair")
+	r.AddRow("log catch-up deltas, log on", "-", fmt.Sprintf("%d", on.logCatchUp),
+		"payloads served from the durable log's retained window")
+	r.AddRow("log resumes served, log on", "-", fmt.Sprintf("%d", on.logResumes), "")
+	r.AddRow("log appends, log on", "-", fmt.Sprintf("%d", on.logAppends),
+		"every delivery decision journaled on the publish path")
+	return r
+}

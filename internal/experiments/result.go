@@ -104,5 +104,6 @@ func All(seed int64) []Result {
 		TraceHops(seed),
 		OverloadStorm(seed),
 		GeoFailover(seed),
+		DurlogResume(seed),
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -72,8 +73,23 @@ func TestChaosOverloadGapFreeResync(t *testing.T) {
 	// Shed-then-resync: a shed marker (or the matching recovery) re-fetches
 	// the mailbox tail via a WAS point query and feeds it to the same
 	// watcher, closing whatever gap the shedding opened.
+	// The first resync dwells until a second recovery marker has arrived
+	// and coalesced into it (bounded at 5s): the shed episode's CLOSE
+	// marker, driven by the post-storm trickle, lands while that first
+	// query is provably still in flight, so the coalescing path (markers
+	// absorbed into one trailing re-run) is exercised deterministically
+	// and asserted below. build runs on its own timer goroutine with
+	// resyncPending held, so the dwell blocks neither the delta pump nor
+	// the reconnect backoff timers.
+	var dwell sync.Once
 	st.SetResync(
 		func(lastSeq uint64) string {
+			dwell.Do(func() {
+				wait := time.Now().Add(5 * time.Second)
+				for viewer.ResyncCoalesced.Value() == 0 && time.Now().Before(wait) {
+					time.Sleep(5 * time.Millisecond)
+				}
+			})
 			return fmt.Sprintf("mailboxSince(seq: %d)", lastSeq)
 		},
 		func(out []byte) {
@@ -198,6 +214,9 @@ func TestChaosOverloadGapFreeResync(t *testing.T) {
 	if c.WAS.PointQueries.Value() == 0 {
 		t.Error("resyncs issued no WAS point queries")
 	}
+	if viewer.ResyncCoalesced.Value() == 0 {
+		t.Error("no recovery marker coalesced into the dwelled first resync")
+	}
 
 	// The removed churn host stays silent for post-removal publishes.
 	sent += send("post-churn")
@@ -218,7 +237,7 @@ func TestChaosOverloadGapFreeResync(t *testing.T) {
 		runtime.GC()
 		return runtime.NumGoroutine() <= goroutinesBefore+3
 	})
-	t.Logf("seed %d: sent=%d sheds=%d resyncs=%d pointQueries=%d coalesced-flow=%d",
-		seed, sent, sheds, viewer.Resyncs.Value(), c.WAS.PointQueries.Value(),
-		viewer.FlowCoalesced.Value())
+	t.Logf("seed %d: sent=%d sheds=%d resyncs=%d coalesced=%d pointQueries=%d coalesced-flow=%d",
+		seed, sent, sheds, viewer.Resyncs.Value(), viewer.ResyncCoalesced.Value(),
+		c.WAS.PointQueries.Value(), viewer.FlowCoalesced.Value())
 }

@@ -55,15 +55,23 @@ func (f *Fleet) applyPayload(ts *topicSub, seq uint64) {
 func (f *Fleet) applyFlow(ts *topicSub, d *burst.Delta) {
 	f.FlowEvents.Inc()
 	if d.Flow == burst.FlowDegraded && overload.IsShedMarker(d.FlowDetail) {
-		f.Resyncs.Inc()
-		var last uint64
 		ts.mu.Lock()
+		cursor := ts.header[burst.HdrCursor] != ""
+		var last uint64
 		for _, sid := range ts.streams {
 			if s := atomic.LoadUint64(&f.tab.streamSeq[sid]); s > last {
 				last = s
 			}
 		}
 		ts.mu.Unlock()
+		if cursor {
+			// Durable-log stream: the gap is repaired by a cursor
+			// resubscribe (counted as CursorResumes when it runs), not a
+			// legacy point-query episode.
+			f.enqueueResume(ts)
+			return
+		}
+		f.Resyncs.Inc()
 		if f.cfg.OnShed != nil {
 			f.enqueueShed(ts.area, last)
 		}

@@ -23,6 +23,12 @@ type Area struct {
 	Subscription string
 	Topic        string
 	User         uint64
+	// Cursor, when non-empty, is sent as HdrCursor on the shared
+	// subscription: a durable-log resume token ("earliest" replays the
+	// whole retained window — the late-joiner case). Shed markers on a
+	// cursor-carrying stream repair via cursor resubscribe instead of the
+	// legacy point-query resync.
+	Cursor string
 }
 
 // Config parameterizes a Fleet.
@@ -67,6 +73,11 @@ type Config struct {
 	// point where a real device would issue its shed-then-resync point
 	// query. The fleet counts episodes either way (Resyncs).
 	OnShed func(area uint32, lastSeq uint64)
+	// HomePOP, when set, pins each device's initial POP preference
+	// (index into POPs) instead of the default 0. Scenario use: seed
+	// devices and late joiners land on different POPs so the joiners
+	// create fresh trunks whose first subscribe carries the area cursor.
+	HomePOP func(dev uint32) int
 }
 
 // Fleet is a population of virtual devices multiplexed over per-POP trunk
@@ -101,9 +112,10 @@ type Fleet struct {
 	// External events (trunk deaths, shed episodes) arrive on trunk
 	// read goroutines; they queue under their own mutex and drain in
 	// Service, so a HandleClose firing mid-transition cannot deadlock.
-	extMu     sync.Mutex
-	extClosed []*trunk
-	extSheds  []shedEvent
+	extMu      sync.Mutex
+	extClosed  []*trunk
+	extSheds   []shedEvent
+	extResumes []*topicSub
 
 	// probeWall holds, per area, the wall-clock nanos of an armed
 	// delivery probe; the first applied delta claims it (Swap) and
@@ -118,18 +130,19 @@ type Fleet struct {
 	rec [][]uint64
 
 	// Metrics.
-	Deltas       metrics.Counter // payload deltas decoded on trunks
-	Applied      metrics.Counter // per-virtual-device delta applications
-	FlowEvents   metrics.Counter
-	Resyncs      metrics.Counter // shed episodes observed
-	Rewrites     metrics.Counter
-	Terminations metrics.Counter
-	Connects     metrics.Counter
-	Drops        metrics.Counter
-	DialFailures metrics.Counter
-	TrunkDeaths  metrics.Counter
-	Transitions  metrics.Counter
-	ApplyLatency *metrics.Histogram
+	Deltas        metrics.Counter // payload deltas decoded on trunks
+	Applied       metrics.Counter // per-virtual-device delta applications
+	FlowEvents    metrics.Counter
+	Resyncs       metrics.Counter // shed episodes repaired by point-query resync
+	CursorResumes metrics.Counter // shed episodes repaired by cursor resubscribe
+	Rewrites      metrics.Counter
+	Terminations  metrics.Counter
+	Connects      metrics.Counter
+	Drops         metrics.Counter
+	DialFailures  metrics.Counter
+	TrunkDeaths   metrics.Counter
+	Transitions   metrics.Counter
+	ApplyLatency  *metrics.Histogram
 }
 
 // paddedInt64 is an atomically accessed int64 padded to a cache line so
@@ -209,6 +222,11 @@ func New(cfg Config) (*Fleet, error) {
 	}
 
 	f.tab = newTables(cfg.Devices)
+	if cfg.HomePOP != nil {
+		for dev := 0; dev < cfg.Devices; dev++ {
+			f.tab.popIdx[dev] = uint8(cfg.HomePOP(uint32(dev)) % len(cfg.POPs))
+		}
+	}
 	assign := cfg.StreamArea
 	if assign == nil {
 		assign = func(dev uint32, k int) uint32 {
@@ -528,8 +546,10 @@ func (f *Fleet) Service() {
 	f.extMu.Lock()
 	closed := f.extClosed
 	sheds := f.extSheds
+	resumes := f.extResumes
 	f.extClosed = nil
 	f.extSheds = nil
+	f.extResumes = nil
 	f.extMu.Unlock()
 
 	if len(closed) > 0 {
@@ -543,6 +563,18 @@ func (f *Fleet) Service() {
 	if f.cfg.OnShed != nil {
 		for _, s := range sheds {
 			f.cfg.OnShed(s.area, s.lastSeq)
+		}
+	}
+	if len(resumes) > 0 {
+		// Coalesce markers that piled up on the same shared stream while
+		// the queue waited for Service: one resubscribe repairs them all.
+		seen := make(map[*topicSub]bool, len(resumes))
+		for _, ts := range resumes {
+			if seen[ts] {
+				continue
+			}
+			seen[ts] = true
+			ts.trunk.resumeSub(ts)
 		}
 	}
 }
@@ -597,6 +629,17 @@ func (f *Fleet) enqueueClosed(t *trunk) {
 func (f *Fleet) enqueueShed(area uint32, lastSeq uint64) {
 	f.extMu.Lock()
 	f.extSheds = append(f.extSheds, shedEvent{area: area, lastSeq: lastSeq})
+	f.extMu.Unlock()
+	if f.cfg.Async {
+		f.sched.After(0, f.Service)
+	}
+}
+
+// enqueueResume records a cursor-repairable shed episode from a trunk
+// read goroutine; Service coalesces per shared stream and resubscribes.
+func (f *Fleet) enqueueResume(ts *topicSub) {
+	f.extMu.Lock()
+	f.extResumes = append(f.extResumes, ts)
 	f.extMu.Unlock()
 	if f.cfg.Async {
 		f.sched.After(0, f.Service)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"bladerunner/internal/burst"
+	"bladerunner/internal/durlog"
 )
 
 // trunk is one real BURST session to a POP carrying every virtual device
@@ -94,6 +96,9 @@ func (t *trunk) sub(area uint32) *topicSub {
 			burst.HdrUser:         strconv.FormatUint(a.User, 10),
 		},
 	}
+	if a.Cursor != "" {
+		ts.header[burst.HdrCursor] = a.Cursor
+	}
 	t.subs[area] = ts
 	t.bySID[ts.sid] = ts
 	req := burst.Subscribe{Header: ts.header.Clone()}
@@ -104,6 +109,44 @@ func (t *trunk) sub(area uint32) *topicSub {
 		_ = t.sess.SendMsg(burst.FrameSubscribe, ts.sid, req)
 	}
 	return ts
+}
+
+// resumeSub repairs a shed gap on a shared stream the durable-log way:
+// cancel the shed subscription and resubscribe under a fresh stream id
+// with the stored (rewrite-maintained) cursor, clamped to the highest seq
+// actually applied on the stream — the trunk-model analogue of
+// device.Stream.triggerCursorResume, and subject to the same
+// never-raise clamp rule. One resume covers every virtual device
+// attached to the stream, exactly as one OnShed point query does for the
+// legacy path. Called from Service, outside all fleet locks.
+func (t *trunk) resumeSub(ts *topicSub) {
+	t.mu.Lock()
+	if t.sess == nil || t.subs == nil || t.subs[ts.area] != ts {
+		t.mu.Unlock()
+		return // virtual trunk, or drained since the marker queued
+	}
+	oldSID := ts.sid
+	t.nextSID++
+	newSID := t.nextSID
+	delete(t.bySID, oldSID)
+	t.bySID[newSID] = ts
+	ts.sid = newSID
+	var last uint64
+	ts.mu.Lock()
+	for _, sid := range ts.streams {
+		if s := atomic.LoadUint64(&t.f.tab.streamSeq[sid]); s > last {
+			last = s
+		}
+	}
+	req := burst.Subscribe{Header: ts.header.Clone()}
+	ts.mu.Unlock()
+	t.mu.Unlock()
+	if c := req.Header[burst.HdrCursor]; c != "" {
+		req.Header[burst.HdrCursor] = durlog.Clamp(c, last)
+	}
+	_ = t.sess.SendMsg(burst.FrameCancel, oldSID, burst.Cancel{Reason: "cursor-resume"})
+	_ = t.sess.SendMsg(burst.FrameSubscribe, newSID, req)
+	t.f.CursorResumes.Inc()
 }
 
 // lookupSub returns the shared subscription for area, or nil.
