@@ -158,15 +158,50 @@ func runBenchJSON(path string, seed int64) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// wireReport is the schema of the -exp wire -bench-json file
+// (BENCH_10.json): the over-the-wire tax of the multi-process deployment,
+// in-process vs loopback-TCP for each measured hot path.
+type wireReport struct {
+	Meta benchMeta               `json:"meta"`
+	Wire []experiments.WireBench `json:"wire"`
+}
+
+// runWireJSON runs the wire experiment and writes its machine-readable
+// report (in-process vs loopback-TCP ns/op plus deltas) to path.
+func runWireJSON(path string, seed int64) error {
+	wall := sim.RealClock{}
+	start := wall.Now()
+	fmt.Fprintln(os.Stderr, "experiment wire...")
+	res, rows := experiments.Wire(seed)
+	fmt.Println(res)
+	out, err := json.MarshalIndent(wireReport{
+		Meta: benchMeta{
+			Seed:        seed,
+			Scenario:    "wire-tax",
+			WallSeconds: wall.Now().Sub(start).Seconds(),
+			GitDescribe: gitDescribe(),
+		},
+		Wire: rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, geofailover, durlog, ablations")
+	exp := flag.String("exp", "all", "experiment id: all, table1, table2, table3, fig6, fig7, fig8, fig9, fig10, switchover, storm, hotfanout, tracehops, overload, geofailover, durlog, wire, ablations")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	series := flag.Bool("series", false, "dump full figure series as CSV after each result")
 	benchJSON := flag.String("bench-json", "", "write hot-path benchmark results (ns/op, allocs/op) to this JSON file and exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed); err != nil {
+		run := runBenchJSON
+		if *exp == "wire" {
+			run = runWireJSON
+		}
+		if err := run(*benchJSON, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "brbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -189,6 +224,7 @@ func main() {
 		"overload":    func() experiments.Result { return experiments.OverloadStorm(*seed) },
 		"geofailover": func() experiments.Result { return experiments.GeoFailover(*seed) },
 		"durlog":      func() experiments.Result { return experiments.DurlogResume(*seed) },
+		"wire":        func() experiments.Result { r, _ := experiments.Wire(*seed); return r },
 		"ablations":   nil, // expanded below
 	}
 

@@ -17,6 +17,13 @@
 //	brload -scenario diurnal -devices 1000000 -bench-json BENCH_8.json
 //	brload -scenario storm -short
 //	brload -scenario replay -devices 100000 -bench-json BENCH_9.json
+//
+// With -net tcp it instead drives a LIVE multi-process cluster (cmd/brnode)
+// over real sockets, from this separate process: trunks dial the POP's
+// BURST listener, publishes go through the WAS ctrl port:
+//
+//	brload -net tcp -connect 127.0.0.1:7105 -was-ctrl 127.0.0.1:7102 \
+//	       -devices 500 -areas 20 -sim 15s
 package main
 
 import (
@@ -47,7 +54,20 @@ func main() {
 	short := flag.Bool("short", false, "scenario: CI smoke sizing (fewer publishes/probes)")
 	benchJSON := flag.String("bench-json", "", "scenario: write the report JSON to this file")
 	maxBPD := flag.Float64("max-bytes-per-device", 0, "scenario: fail if bytes/device exceeds this (0 = no gate)")
+	netMode := flag.String("net", "", "live mode transport: tcp (drive a running brnode cluster)")
+	connect := flag.String("connect", "", "live mode: POP BURST address(es), comma-separated")
+	wasCtrl := flag.String("was-ctrl", "", "live mode: WAS process ctrl address (publish path)")
+	region := flag.String("region", "us-east", "live mode: cluster region")
 	flag.Parse()
+
+	if *netMode != "" {
+		if *netMode != "tcp" {
+			log.Fatalf("brload: unknown -net %q (want tcp)", *netMode)
+		}
+		runLive(strings.Split(*connect, ","), *wasCtrl, *region,
+			*devices, *areas, *seed, *simDur, *benchJSON)
+		return
+	}
 
 	if *scenario != "" {
 		runScenario(*scenario, *devices, *areas, *zipfS, *seed, *simDur, *short, *benchJSON, *maxBPD)
@@ -66,6 +86,58 @@ func main() {
 		showGraph(*seed, *n)
 	default:
 		log.Fatalf("brload: unknown -what %q", *what)
+	}
+}
+
+// runLive drives a live brnode cluster over TCP. The scenario-sized
+// -devices/-areas defaults (a million virtual devices) make no sense
+// against real sockets, so untouched defaults fall back to live-mode
+// sizing (200 devices, 20 areas).
+func runLive(pops []string, wasCtrl, region string, devices, areas int,
+	seed int64, simDur time.Duration, benchJSON string) {
+	if devices == 1_000_000 {
+		devices = 0
+	}
+	if areas == 1000 {
+		areas = 0
+	}
+	var clean []string
+	for _, p := range pops {
+		if p = strings.TrimSpace(p); p != "" {
+			clean = append(clean, p)
+		}
+	}
+	rep, err := megadevice.RunLive(megadevice.LiveOptions{
+		Pops:     clean,
+		WASAddr:  wasCtrl,
+		Region:   region,
+		Devices:  devices,
+		Areas:    areas,
+		Seed:     seed,
+		Duration: simDur,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("brload: %v", err)
+	}
+	rep.GitDescribe = gitDescribe()
+	fmt.Printf("live: %d devices over %d POP(s), %.1fs wall\n",
+		rep.Devices, len(clean), rep.WallSecs)
+	fmt.Printf("  connects=%d drops=%d dial_failures=%d trunk_deaths=%d\n",
+		rep.Connects, rep.Drops, rep.DialFailures, rep.TrunkDeaths)
+	fmt.Printf("  publishes=%d deltas=%d applied=%d probes=%d misses=%d\n",
+		rep.Publishes, rep.Deltas, rep.Applied, rep.Probes, rep.ProbeMisses)
+	fmt.Printf("  over-the-wire delivery latency p50=%v p99=%v (n=%d)\n",
+		rep.LatencyNS.P50, rep.LatencyNS.P99, rep.LatencyNS.Count)
+	if benchJSON != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("brload: marshal report: %v", err)
+		}
+		if err := os.WriteFile(benchJSON, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("brload: %v", err)
+		}
+		fmt.Printf("report written to %s\n", benchJSON)
 	}
 }
 

@@ -20,7 +20,7 @@ import (
 // topic per friend. The BRASS keeps a per-stream map of online friends with
 // a TTL and pushes batched updates periodically so devices aren't flooded.
 type ActiveStatus struct {
-	w *was.Server
+	w Registrar
 
 	// TTL is how long a status report stays fresh (paper: 30 s).
 	TTL time.Duration
@@ -40,7 +40,7 @@ type StatusPayload struct {
 }
 
 // NewActiveStatus registers the WAS half and returns the application.
-func NewActiveStatus(w *was.Server) *ActiveStatus {
+func NewActiveStatus(w Registrar) *ActiveStatus {
 	a := &ActiveStatus{w: w, TTL: 30 * time.Second, BatchInterval: 5 * time.Second}
 
 	// Devices call this every 30 s while online.

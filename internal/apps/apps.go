@@ -34,6 +34,31 @@ const (
 // LiveVideoComments' language filter.
 const HdrLang = "lang"
 
+// Registrar is the WAS surface the applications' constructors consume:
+// registration of query/mutation/subscription/payload resolvers.
+// *was.Server satisfies it directly. A process hosting only the BRASS tier
+// builds its Suite against NopRegistrar — the WAS halves live in the WAS
+// process, reached over the control protocol, so local registration is a
+// no-op there.
+type Registrar interface {
+	RegisterQuery(name string, fn was.QueryFunc)
+	RegisterMutation(name string, fn was.MutationFunc)
+	RegisterSubscription(name string, fn was.SubscriptionFunc)
+	RegisterPayload(app string, fn was.PayloadFunc)
+}
+
+// NopRegistrar discards every registration. Used by processes that need the
+// applications' BRASS halves but whose WAS resolvers live elsewhere.
+type NopRegistrar struct{}
+
+func (NopRegistrar) RegisterQuery(string, was.QueryFunc)               {}
+func (NopRegistrar) RegisterMutation(string, was.MutationFunc)         {}
+func (NopRegistrar) RegisterSubscription(string, was.SubscriptionFunc) {}
+func (NopRegistrar) RegisterPayload(string, was.PayloadFunc)           {}
+
+var _ Registrar = (*was.Server)(nil)
+var _ Registrar = NopRegistrar{}
+
 // Suite bundles one instance of every application's shared (WAS-side)
 // state, so multiple BRASS hosts can serve the same applications.
 type Suite struct {
@@ -48,7 +73,7 @@ type Suite struct {
 }
 
 // NewSuite builds all applications and registers their WAS halves.
-func NewSuite(w *was.Server) *Suite {
+func NewSuite(w Registrar) *Suite {
 	return &Suite{
 		LVC:          NewLiveVideoComments(w),
 		ActiveStatus: NewActiveStatus(w),

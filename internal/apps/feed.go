@@ -18,7 +18,7 @@ import (
 // interesting property here is the rapidly changing focus: a user scrolling
 // their feed cancels and opens these streams constantly (§1 challenge 2).
 type FeedComments struct {
-	w *was.Server
+	w Registrar
 }
 
 // PostTopic returns the Pylon topic for a post's comments.
@@ -27,7 +27,7 @@ func PostTopic(postID uint64) pylon.Topic {
 }
 
 // NewFeedComments registers the WAS half and returns the application.
-func NewFeedComments(w *was.Server) *FeedComments {
+func NewFeedComments(w Registrar) *FeedComments {
 	a := &FeedComments{w: w}
 
 	w.RegisterMutation("postFeedComment", func(ctx *was.Ctx, call was.FieldCall) (any, error) {

@@ -27,7 +27,7 @@ import (
 // periodic timer pops the top comment at the rate limit, fetches the
 // payload from the WAS (privacy check included), and pushes it.
 type LiveVideoComments struct {
-	w *was.Server
+	w Registrar
 
 	// Tunables (paper values as defaults).
 	RateLimit         time.Duration // max one push per stream per RateLimit
@@ -57,7 +57,7 @@ func LVCTopic(videoID uint64) pylon.Topic {
 }
 
 // NewLiveVideoComments registers the WAS half and returns the application.
-func NewLiveVideoComments(w *was.Server) *LiveVideoComments {
+func NewLiveVideoComments(w Registrar) *LiveVideoComments {
 	a := &LiveVideoComments{
 		w:                 w,
 		RateLimit:         2 * time.Second,

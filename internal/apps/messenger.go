@@ -28,7 +28,7 @@ import (
 // carrying HdrResumeSeq and the (possibly different) serving BRASS catches
 // the device up from the mailbox before resuming live delivery.
 type Messenger struct {
-	w *was.Server
+	w Registrar
 
 	mu      sync.Mutex
 	threads map[uint64][]socialgraph.UserID // thread → members
@@ -55,7 +55,7 @@ func MailboxTopic(uid socialgraph.UserID) pylon.Topic {
 }
 
 // NewMessenger registers the WAS half and returns the application.
-func NewMessenger(w *was.Server) *Messenger {
+func NewMessenger(w Registrar) *Messenger {
 	a := &Messenger{
 		w:       w,
 		threads: make(map[uint64][]socialgraph.UserID),

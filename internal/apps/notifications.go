@@ -23,7 +23,7 @@ const AppNotifications = "notifications"
 // so a reconnecting device shows the right badge immediately, before any
 // notification payloads arrive.
 type WebsiteNotifications struct {
-	w *was.Server
+	w Registrar
 }
 
 // HdrUnseenCount is the stream header carrying the badge state.
@@ -44,7 +44,7 @@ type NotificationPayload struct {
 }
 
 // NewWebsiteNotifications registers the WAS half and returns the app.
-func NewWebsiteNotifications(w *was.Server) *WebsiteNotifications {
+func NewWebsiteNotifications(w Registrar) *WebsiteNotifications {
 	a := &WebsiteNotifications{w: w}
 
 	// notify(user: U, kind: "...", text: "..."): some product surface

@@ -24,7 +24,7 @@ const AppReactions = "reactions"
 // handful of counters — the strongest possible form of "drop messages
 // intelligently".
 type LiveVideoReactions struct {
-	w *was.Server
+	w Registrar
 
 	// FlushInterval is the aggregate push cadence.
 	FlushInterval time.Duration
@@ -42,7 +42,7 @@ type ReactionAggregate struct {
 }
 
 // NewLiveVideoReactions registers the WAS half and returns the application.
-func NewLiveVideoReactions(w *was.Server) *LiveVideoReactions {
+func NewLiveVideoReactions(w Registrar) *LiveVideoReactions {
 	a := &LiveVideoReactions{w: w, FlushInterval: time.Second}
 
 	w.RegisterMutation("reactToVideo", func(ctx *was.Ctx, call was.FieldCall) (any, error) {

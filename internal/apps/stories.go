@@ -20,7 +20,7 @@ import (
 // (ii) containers that ranked into the top N, and (iii) container deletion
 // requests — so the device needs only one initial poll ever.
 type Stories struct {
-	w *was.Server
+	w Registrar
 
 	// TraySize is the number of containers a device displays (paper: n).
 	TraySize int
@@ -41,7 +41,7 @@ type StoryDelta struct {
 }
 
 // NewStories registers the WAS half and returns the application.
-func NewStories(w *was.Server) *Stories {
+func NewStories(w Registrar) *Stories {
 	a := &Stories{w: w, TraySize: 3}
 
 	w.RegisterMutation("postStory", func(ctx *was.Ctx, call was.FieldCall) (any, error) {

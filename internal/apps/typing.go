@@ -18,7 +18,7 @@ import (
 // for privacy checking and device-specific transformation (Fig 9's
 // description of the generalized TypingIndicator).
 type TypingIndicator struct {
-	w *was.Server
+	w Registrar
 }
 
 // TypingTopic returns the topic for one user's typing state in a thread.
@@ -34,7 +34,7 @@ type TypingPayload struct {
 }
 
 // NewTypingIndicator registers the WAS half and returns the application.
-func NewTypingIndicator(w *was.Server) *TypingIndicator {
+func NewTypingIndicator(w Registrar) *TypingIndicator {
 	a := &TypingIndicator{w: w}
 
 	w.RegisterMutation("setTyping", func(ctx *was.Ctx, call was.FieldCall) (any, error) {

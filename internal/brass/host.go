@@ -19,7 +19,6 @@ import (
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/trace"
-	"bladerunner/internal/was"
 )
 
 // ErrUnknownApp is returned when a stream names an unregistered application.
@@ -106,8 +105,8 @@ type HostConfig struct {
 // endpoints for the streams routed to it.
 type Host struct {
 	cfg   HostConfig
-	pylon *pylon.Service
-	was   *was.Server
+	pylon PubSub
+	was   Backend
 	sched sim.Scheduler
 
 	mu        sync.Mutex
@@ -172,8 +171,11 @@ type subRetry struct {
 	cancel func()
 }
 
-// NewHost builds a BRASS host and registers it with Pylon.
-func NewHost(cfg HostConfig, pyl *pylon.Service, wasrv *was.Server, sched sim.Scheduler) *Host {
+// NewHost builds a BRASS host and registers it with Pylon. pyl and wasrv
+// are interfaces so the host runs identically against in-process services
+// and control-protocol clients; pass a nil interface (not a typed-nil
+// pointer) to omit one.
+func NewHost(cfg HostConfig, pyl PubSub, wasrv Backend, sched sim.Scheduler) *Host {
 	if cfg.ID == "" {
 		panic("brass: host needs an ID")
 	}
@@ -607,7 +609,12 @@ func (hh hostSessionHandler) OnSessionClose(streams []*burst.ServerStream, err e
 	}
 	h.mu.Unlock()
 	reason := "session closed"
-	if err != nil {
+	switch {
+	case errors.Is(err, io.EOF):
+		// Clean peer close (device or downstream proxy hung up on
+		// purpose) — not a failure.
+		reason = "peer closed session"
+	case err != nil:
 		reason = "session failed: " + err.Error()
 	}
 	for _, bst := range streams {

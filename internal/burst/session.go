@@ -71,8 +71,8 @@ func (s *Session) Name() string { return s.name }
 // Done is closed when the session has fully shut down.
 func (s *Session) Done() <-chan struct{} { return s.done }
 
-// Err returns the error the session closed with (nil before close or for a
-// local close).
+// Err returns the error the session closed with: nil before close or for a
+// locally initiated close, io.EOF for a clean peer close.
 func (s *Session) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -93,24 +93,41 @@ func (s *Session) SetPongListener(fn func()) {
 //
 //brlint:hotpath per-frame wire path: header encode into a stack buffer,
 func (s *Session) Send(f Frame) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return fmt.Errorf("session %s: %w", s.name, ErrSessionClosed)
-	}
-	s.mu.Unlock()
-
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	// The closed check must happen under wmu: a sender that checked before
+	// acquiring wmu could otherwise write a frame onto a transport that
+	// closeWith tore down while it waited, surfacing as a confusing
+	// write-on-closed-conn error instead of ErrSessionClosed.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("session %s: %w", s.name, ErrSessionClosed)
+	}
 	if err := WriteFrame(s.bw, f); err != nil {
-		s.closeWith(err)
-		return err
+		return s.sendFailed(err)
 	}
 	if err := s.bw.Flush(); err != nil {
-		s.closeWith(err)
-		return err
+		return s.sendFailed(err)
 	}
 	return nil
+}
+
+// sendFailed maps a write failure to the session's close state: if another
+// goroutine closed the session while the frame was in flight, the failure
+// is just the dead transport surfacing and the caller gets ErrSessionClosed;
+// otherwise the write error is the cause of death and the session closes
+// with it.
+func (s *Session) sendFailed(err error) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("session %s: %w", s.name, ErrSessionClosed)
+	}
+	s.closeWith(err)
+	return err
 }
 
 // SendMsg encodes v as the payload of a frame of type t on stream sid.
@@ -171,7 +188,13 @@ func (s *Session) readLoop() {
 			alreadyClosed := s.closed
 			if !alreadyClosed {
 				s.closed = true
-				if !errors.Is(err, io.EOF) {
+				// A clean EOF is the peer hanging up; keep it distinct
+				// from a local close (nil) so handlers can tell whether
+				// the far side went away or we did. A torn frame
+				// (io.ErrUnexpectedEOF) stays an error close.
+				if errors.Is(err, io.EOF) {
+					s.err = io.EOF
+				} else {
 					s.err = err
 				}
 			}
@@ -225,16 +248,28 @@ func (h HandlerFuncs) HandleClose(err error) {
 // closes the session if no pong arrives within timeout, providing the fast
 // failure detection the paper's footnote 11 describes (waiting for TCP to
 // notice takes too long).
+//
+// On transports that support read deadlines (real TCP conns) and a
+// wall-clock scheduler, the keepalive also arms a rolling read deadline
+// ahead of each ping, so a session whose *write* side wedges (dead peer
+// with a full kernel send buffer — Ping never returns, so the pong timer
+// would never be armed) is still torn down by the read side.
 type Keepalive struct {
 	sess     *Session
 	sched    sim.Scheduler
 	interval time.Duration
 	timeout  time.Duration
+	deadline deadlineConn // nil unless real clock + deadline-capable conn
 
 	mu      sync.Mutex
 	stopped bool
-	cancel  func()
+	cancel  func() // pending timer: interval tick or in-flight pong timeout
 	alive   bool
+}
+
+// deadlineConn is the subset of net.Conn keepalive uses to bound reads.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
 }
 
 // StartKeepalive begins heartbeating sess. Call Stop to end it.
@@ -243,6 +278,14 @@ func StartKeepalive(sess *Session, sched sim.Scheduler, interval, timeout time.D
 		sched = sim.RealClock{}
 	}
 	k := &Keepalive{sess: sess, sched: sched, interval: interval, timeout: timeout, alive: true}
+	// Read deadlines only make sense when scheduler time is wall time:
+	// net.Pipe implements SetReadDeadline against the wall clock, so arming
+	// it from a virtual clock would expire reads instantly.
+	if _, real := sched.(sim.RealClock); real {
+		if dc, ok := sess.rwc.(deadlineConn); ok {
+			k.deadline = dc
+		}
+	}
 	sess.SetPongListener(func() {
 		k.mu.Lock()
 		k.alive = true
@@ -263,35 +306,58 @@ func (k *Keepalive) schedule() {
 
 func (k *Keepalive) tick() {
 	k.mu.Lock()
-	stopped := k.stopped
+	if k.stopped {
+		k.mu.Unlock()
+		return
+	}
 	// Mark not-alive before sending the ping: the pong may arrive on
 	// another goroutine before Ping even returns.
 	k.alive = false
 	k.mu.Unlock()
-	if stopped {
-		return
+	if k.deadline != nil {
+		// Bound the read side past the next full ping cycle; refreshed
+		// every tick while the session is healthy.
+		_ = k.deadline.SetReadDeadline(k.sched.Now().Add(k.interval + 2*k.timeout))
 	}
 	if err := k.sess.Ping(); err != nil {
 		return // session already dead
 	}
-	k.sched.After(k.timeout, func() {
-		k.mu.Lock()
-		dead := !k.alive && !k.stopped
+	k.mu.Lock()
+	if k.stopped {
+		// Stop raced the tick: don't arm the pong-timeout timer after
+		// Stop already cancelled everything it could see.
 		k.mu.Unlock()
-		if dead {
-			k.sess.closeWith(fmt.Errorf("session %s: heartbeat timeout", k.sess.name))
-			return
-		}
-		k.schedule()
-	})
+		return
+	}
+	k.cancel = k.sched.After(k.timeout, k.pongDeadline)
+	k.mu.Unlock()
 }
 
-// Stop ends the keepalive without closing the session.
+// pongDeadline runs timeout after a ping: either the pong arrived (schedule
+// the next tick) or the session is declared dead.
+func (k *Keepalive) pongDeadline() {
+	k.mu.Lock()
+	dead := !k.alive && !k.stopped
+	k.mu.Unlock()
+	if dead {
+		k.sess.closeWith(fmt.Errorf("session %s: heartbeat timeout", k.sess.name))
+		return
+	}
+	k.schedule()
+}
+
+// Stop ends the keepalive without closing the session. Both the interval
+// timer and an in-flight pong-timeout timer are cancelled; no keepalive
+// timer fires after Stop returns.
 func (k *Keepalive) Stop() {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.stopped = true
 	if k.cancel != nil {
 		k.cancel()
+		k.cancel = nil
+	}
+	if k.deadline != nil {
+		_ = k.deadline.SetReadDeadline(time.Time{})
 	}
 }

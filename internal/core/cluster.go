@@ -8,7 +8,6 @@ import (
 	"bladerunner/internal/apps"
 	"bladerunner/internal/brass"
 	"bladerunner/internal/device"
-	"bladerunner/internal/durlog"
 	"bladerunner/internal/edge"
 	"bladerunner/internal/kvstore"
 	"bladerunner/internal/pylon"
@@ -169,53 +168,27 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		}
 	}
 
-	graph, err := socialgraph.Generate(cfg.Graph)
-	if err != nil {
-		return nil, err
-	}
-	store, err := tao.NewStore(cfg.TAO, sched)
-	if err != nil {
-		return nil, err
-	}
-
 	// Subscription KV + Pylon. Single-region mode shares one Pylon
 	// cluster whose KV nodes spread across region labels; Geo mode gives
 	// each region its OWN KV cluster and Pylon service, joined only by
 	// the replication plane — a region-cut cannot take another region's
 	// pub/sub tier with it.
-	newKV := func(regions []string) (*kvstore.Cluster, error) {
-		var nodes []*kvstore.Node
-		for _, r := range regions {
-			for i := 0; i < cfg.KVNodesPerRegion; i++ {
-				nodes = append(nodes, kvstore.NewNode(
-					fmt.Sprintf("kv-%s-%d", r, i), r))
-			}
-		}
-		replicas := cfg.KVReplicas
-		if replicas > len(nodes) {
-			replicas = len(nodes)
-		}
-		return kvstore.NewCluster(nodes, replicas)
-	}
-
 	var (
 		kv           *kvstore.Cluster
 		pyl          *pylon.Service
 		regionPylons map[string]*pylon.Service
+		err          error
 	)
 	if topo == nil {
-		kv, err = newKV(cfg.Regions)
+		pt, err := NewPylonTier(cfg)
 		if err != nil {
 			return nil, err
 		}
-		pyl, err = pylon.New(cfg.Pylon, kv)
-		if err != nil {
-			return nil, err
-		}
+		kv, pyl = pt.KV, pt.Pylon
 	} else {
 		regionPylons = make(map[string]*pylon.Service, len(cfg.Regions))
 		for _, r := range cfg.Regions {
-			rkv, err := newKV([]string{r})
+			rkv, err := newKVCluster(cfg, []string{r})
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +206,11 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		}
 	}
 
-	w := was.New(store, graph, pyl, sched)
+	wt, err := NewWASTier(cfg, pyl, nil, sched)
+	if err != nil {
+		return nil, err
+	}
+	graph, store, w, suite := wt.Graph, wt.TAO, wt.WAS, wt.Apps
 	if cfg.Trace != nil {
 		w.Sampler = cfg.Trace.Sampler
 		w.Tracer = cfg.Trace.Tracer("was")
@@ -241,7 +218,6 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 			pyl.Tracer = cfg.Trace.Tracer("pylon")
 		}
 	}
-	suite := apps.NewSuite(w)
 
 	c := &Cluster{
 		Cfg:      cfg,
@@ -294,28 +270,7 @@ func NewCluster(cfg Config, sched sim.Scheduler) (*Cluster, error) {
 		}
 		for i := 0; i < cfg.BRASSHostsPerRegion; i++ {
 			id := fmt.Sprintf("brass-%s-%d", r, i)
-			hcfg := brass.HostConfig{
-				ID: id, Region: r, StickyRouting: cfg.StickyRouting,
-				Tracer:             cfg.Trace.Tracer(id),
-				LoopQueueDepth:     cfg.Overload.LoopQueueDepth,
-				DeliverRate:        cfg.Overload.DeliverRate,
-				DeliverBurst:       cfg.Overload.DeliverBurst,
-				StreamDeliverRate:  cfg.Overload.StreamDeliverRate,
-				StreamDeliverBurst: cfg.Overload.StreamDeliverBurst,
-			}
-			if cfg.Durlog != nil {
-				hcfg.Durlog = &durlog.Config{
-					HotBytes:       cfg.Durlog.HotBytes,
-					Segments:       cfg.Durlog.Segments,
-					SegmentEntries: cfg.Durlog.SegmentEntries,
-					Retention:      cfg.Durlog.Retention,
-				}
-				hcfg.DurlogApps = cfg.Durlog.Apps
-				if len(hcfg.DurlogApps) == 0 {
-					hcfg.DurlogApps = []string{apps.AppMessenger}
-				}
-			}
-			h := brass.NewHost(hcfg, hostPylon, w, sched)
+			h := brass.NewHost(brassHostConfig(cfg, id, r), hostPylon, w, sched)
 			suite.RegisterBRASS(h)
 			c.Hosts = append(c.Hosts, h)
 			brassByRegion[r] = append(brassByRegion[r], id)

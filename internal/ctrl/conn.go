@@ -1,0 +1,342 @@
+// Package ctrl is the control protocol between Bladerunner tier processes:
+// a small newline-delimited JSON RPC carried over any io.ReadWriteCloser
+// (in production a TCP connection from edge.TCPNetwork). It exists so the
+// multi-process deployment (cmd/brnode) can cut the in-process cluster at
+// its interface seams — brass.PubSub, brass.Backend, device.Backend — and
+// replace a function call with a socket without the tiers noticing.
+//
+// The protocol has three message shapes on one duplex connection:
+//
+//	request:      {"id":1,"method":"pylon.subscribe","params":{...}}
+//	response:     {"id":1,"result":{...}}  or  {"id":1,"error":{"code":"...","msg":"..."}}
+//	notification: {"method":"pylon.deliver","params":{...}}   (no id, no reply)
+//
+// Both ends may call and serve on the same Conn; ids are correlated per
+// direction (each side numbers its own requests). Incoming requests and
+// notifications are dispatched in arrival order on a single dispatcher
+// goroutine, never on the read loop — a handler that issues a Call back
+// over the same Conn must not deadlock against the loop that would
+// deliver its response. Event delivery (pylon.deliver) therefore stays
+// ordered per connection, matching Pylon's per-topic ordering contract.
+//
+// BURST is deliberately not reused here: BURST frames are per-stream
+// device traffic with flow control and shedding; control traffic wants
+// strict request/response semantics and zero shedding. The two protocols
+// share sockets' fate, nothing else.
+package ctrl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrConnClosed is wrapped by calls that fail because the connection is
+// (or just became) closed.
+var ErrConnClosed = errors.New("ctrl: connection closed")
+
+// Handler serves one method. The returned value is marshaled as the
+// result; a returned error is mapped to a wire error (sentinel identities
+// surviving via codeFor/errFor).
+type Handler func(params json.RawMessage) (any, error)
+
+// envelope is the single wire shape; field presence distinguishes the
+// three message kinds (ids start at 1, so ID==0 means "absent").
+type envelope struct {
+	ID     uint64          `json:"id,omitempty"`
+	Method string          `json:"method,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *wireError      `json:"error,omitempty"`
+}
+
+// wireError carries an error across the wire. Code preserves sentinel
+// identity (see errors.go); Msg is the human-readable rendering.
+type wireError struct {
+	Code string `json:"code,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+// Conn is one control connection. Safe for concurrent use.
+type Conn struct {
+	name string
+	rwc  io.ReadWriteCloser
+
+	wmu sync.Mutex
+	enc *json.Encoder
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	pending  map[uint64]chan envelope
+	nextID   uint64
+	closed   bool
+	err      error
+	onClose  func(error)
+
+	// Incoming requests/notifications queue here (unbounded, so the read
+	// loop never blocks behind a slow handler) and drain in order on the
+	// dispatcher goroutine.
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	queue []envelope
+	qdone bool
+
+	wg sync.WaitGroup
+}
+
+// NewConn wraps rwc in a control connection. name labels errors. onClose,
+// when non-nil, fires once when the connection dies (nil error for a local
+// Close). The read and dispatch loops do not run until Start — register
+// every handler first, so a fast peer's first request cannot race
+// registration.
+func NewConn(name string, rwc io.ReadWriteCloser, onClose func(error)) *Conn {
+	c := &Conn{
+		name:     name,
+		rwc:      rwc,
+		enc:      json.NewEncoder(rwc),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]chan envelope),
+		onClose:  onClose,
+	}
+	c.qcond = sync.NewCond(&c.qmu)
+	return c
+}
+
+// Start launches the read and dispatch loops. Call exactly once, after
+// handler registration.
+func (c *Conn) Start() *Conn {
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.dispatchLoop()
+	return c
+}
+
+// Handle registers fn for method. Registration after traffic has started
+// is racy by design choice: register every handler before the peer can
+// send (i.e. immediately after NewConn on the accepting side).
+func (c *Conn) Handle(method string, fn Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers[method] = fn
+}
+
+// Call sends a request and blocks for the matching response. result, when
+// non-nil, receives the unmarshaled result payload. Wire errors come back
+// with sentinel identity restored where the code maps to one.
+func (c *Conn) Call(method string, params, result any) error {
+	raw, err := marshalParams(params)
+	if err != nil {
+		return fmt.Errorf("ctrl %s: marshal %s params: %w", c.name, method, err)
+	}
+	ch := make(chan envelope, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return c.closedErr(method, err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.send(envelope{ID: id, Method: method, Params: raw}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("ctrl %s: send %s: %w", c.name, method, err)
+	}
+	env, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return c.closedErr(method, err)
+	}
+	if env.Error != nil {
+		return env.Error.unwire(c.name, method)
+	}
+	if result != nil && len(env.Result) > 0 {
+		if err := json.Unmarshal(env.Result, result); err != nil {
+			return fmt.Errorf("ctrl %s: unmarshal %s result: %w", c.name, method, err)
+		}
+	}
+	return nil
+}
+
+// Notify sends a fire-and-forget notification (no id, no response).
+func (c *Conn) Notify(method string, params any) error {
+	raw, err := marshalParams(params)
+	if err != nil {
+		return fmt.Errorf("ctrl %s: marshal %s params: %w", c.name, method, err)
+	}
+	if err := c.send(envelope{Method: method, Params: raw}); err != nil {
+		return fmt.Errorf("ctrl %s: notify %s: %w", c.name, method, err)
+	}
+	return nil
+}
+
+// Close tears the connection down and fails every in-flight Call.
+func (c *Conn) Close() error {
+	c.closeWith(nil)
+	c.wg.Wait()
+	return nil
+}
+
+// Err returns the error that closed the connection (nil before close or
+// after a local Close).
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *Conn) closedErr(method string, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("ctrl %s: call %s: %w (%w)", c.name, method, ErrConnClosed, cause)
+	}
+	return fmt.Errorf("ctrl %s: call %s: %w", c.name, method, ErrConnClosed)
+}
+
+func marshalParams(params any) (json.RawMessage, error) {
+	if params == nil {
+		return nil, nil
+	}
+	return json.Marshal(params)
+}
+
+// send serializes one envelope under the write lock. Encoder appends the
+// newline separating messages.
+func (c *Conn) send(env envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrConnClosed
+	}
+	if err := c.enc.Encode(env); err != nil {
+		c.closeWith(err)
+		return err
+	}
+	return nil
+}
+
+// closeWith performs the one-time teardown: marks closed, fails pending
+// calls, wakes the dispatcher, closes the transport, fires onClose.
+func (c *Conn) closeWith(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pend := c.pending
+	c.pending = make(map[uint64]chan envelope)
+	onClose := c.onClose
+	c.mu.Unlock()
+
+	for _, ch := range pend {
+		close(ch)
+	}
+	c.qmu.Lock()
+	c.qdone = true
+	c.qcond.Broadcast()
+	c.qmu.Unlock()
+	_ = c.rwc.Close()
+	if onClose != nil {
+		onClose(err)
+	}
+}
+
+// readLoop decodes envelopes: responses resolve pending calls directly;
+// requests and notifications enqueue for the dispatcher.
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	dec := json.NewDecoder(c.rwc)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.EOF // clean peer close keeps its identity
+			}
+			c.closeWith(err)
+			return
+		}
+		if env.Method == "" { // response
+			c.mu.Lock()
+			ch, ok := c.pending[env.ID]
+			delete(c.pending, env.ID)
+			c.mu.Unlock()
+			if ok {
+				ch <- env
+			}
+			continue
+		}
+		c.qmu.Lock()
+		if c.qdone {
+			c.qmu.Unlock()
+			return
+		}
+		c.queue = append(c.queue, env)
+		c.qcond.Signal()
+		c.qmu.Unlock()
+	}
+}
+
+// dispatchLoop drains the incoming queue in order, invoking handlers and
+// writing responses for requests. It exits when the connection closes and
+// the queue has drained.
+func (c *Conn) dispatchLoop() {
+	defer c.wg.Done()
+	for {
+		c.qmu.Lock()
+		for len(c.queue) == 0 && !c.qdone {
+			//brlint:allow(no-lock-across-block) the canonical Cond pattern: Wait atomically releases qmu while parked, so the read loop can still append; the queue must stay unbounded so the read loop never blocks behind a slow handler
+			c.qcond.Wait()
+		}
+		if len(c.queue) == 0 && c.qdone {
+			c.qmu.Unlock()
+			return
+		}
+		env := c.queue[0]
+		c.queue = c.queue[1:]
+		c.qmu.Unlock()
+		c.serve(env)
+	}
+}
+
+// serve runs one request or notification through its handler.
+func (c *Conn) serve(env envelope) {
+	c.mu.Lock()
+	fn := c.handlers[env.Method]
+	c.mu.Unlock()
+	if env.ID == 0 { // notification: no reply even on error
+		if fn != nil {
+			_, _ = fn(env.Params)
+		}
+		return
+	}
+	resp := envelope{ID: env.ID}
+	switch {
+	case fn == nil:
+		resp.Error = &wireError{Code: codeUnknownMethod, Msg: fmt.Sprintf("ctrl: unknown method %q", env.Method)}
+	default:
+		out, err := fn(env.Params)
+		if err != nil {
+			resp.Error = wire(err)
+		} else if out != nil {
+			raw, merr := json.Marshal(out)
+			if merr != nil {
+				resp.Error = wire(fmt.Errorf("ctrl: marshal %s result: %w", env.Method, merr))
+			} else {
+				resp.Result = raw
+			}
+		}
+	}
+	_ = c.send(resp) // a dead conn fails every pending call anyway
+}

@@ -1,0 +1,279 @@
+package ctrl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bladerunner/internal/kvstore"
+	"bladerunner/internal/pylon"
+)
+
+// pair returns two connected Conns over an in-memory pipe.
+func pair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca := NewConn("a", a, nil).Start()
+	cb := NewConn("b", b, nil).Start()
+	t.Cleanup(func() {
+		_ = ca.Close()
+		_ = cb.Close()
+	})
+	return ca, cb
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	ca, cb := pair(t)
+	cb.Handle("echo", func(params json.RawMessage) (any, error) {
+		var in map[string]string
+		if err := json.Unmarshal(params, &in); err != nil {
+			return nil, err
+		}
+		in["seen"] = "yes"
+		return in, nil
+	})
+	var out map[string]string
+	if err := ca.Call("echo", map[string]string{"k": "v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["k"] != "v" || out["seen"] != "yes" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestUnknownMethodErrors(t *testing.T) {
+	ca, _ := pair(t)
+	err := ca.Call("no.such", nil, nil)
+	if err == nil {
+		t.Fatal("unknown method succeeded")
+	}
+}
+
+func TestSentinelErrorsSurviveTheWire(t *testing.T) {
+	ca, cb := pair(t)
+	cases := []error{
+		pylon.ErrNoQuorum,
+		pylon.ErrUnavailable,
+		pylon.ErrShed,
+		pylon.ErrUnknownSubscriber,
+	}
+	cb.Handle("fail", func(params json.RawMessage) (any, error) {
+		var p struct{ I int }
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		// Wrapped, as real code returns them.
+		return nil, fmt.Errorf("subscribe shard 3: %w", cases[p.I])
+	})
+	for i, want := range cases {
+		err := ca.Call("fail", struct{ I int }{i}, nil)
+		if !errors.Is(err, want) {
+			t.Errorf("case %d: sentinel %v lost: got %v", i, want, err)
+		}
+	}
+}
+
+func TestNotificationsArriveInOrder(t *testing.T) {
+	ca, cb := pair(t)
+	const n = 100
+	got := make(chan int, n)
+	cb.Handle("tick", func(params json.RawMessage) (any, error) {
+		var p struct{ I int }
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		got <- p.I
+		return nil, nil
+	})
+	for i := 0; i < n; i++ {
+		if err := ca.Notify("tick", struct{ I int }{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("notification %d arrived as %d: reordered", i, v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("notification %d never arrived", i)
+		}
+	}
+}
+
+func TestConcurrentCallsCorrelate(t *testing.T) {
+	ca, cb := pair(t)
+	cb.Handle("double", func(params json.RawMessage) (any, error) {
+		var p struct{ V int }
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return struct{ V int }{2 * p.V}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out struct{ V int }
+			if err := ca.Call("double", struct{ V int }{i}, &out); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if out.V != 2*i {
+				t.Errorf("call %d: got %d", i, out.V)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// A handler that issues a Call back over the same connection must not
+// deadlock: dispatch runs off the read loop, so the nested response can
+// still be read.
+func TestHandlerMayCallBackOnSameConn(t *testing.T) {
+	ca, cb := pair(t)
+	ca.Handle("leaf", func(json.RawMessage) (any, error) {
+		return struct{ OK bool }{true}, nil
+	})
+	cb.Handle("nested", func(json.RawMessage) (any, error) {
+		var out struct{ OK bool }
+		if err := cb.Call("leaf", nil, &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		var out struct{ OK bool }
+		done <- ca.Call("nested", nil, &out)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested call deadlocked")
+	}
+}
+
+func TestCloseFailsPendingCalls(t *testing.T) {
+	ca, cb := pair(t)
+	block := make(chan struct{})
+	cb.Handle("hang", func(json.RawMessage) (any, error) {
+		<-block
+		return nil, nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- ca.Call("hang", nil, nil) }()
+	time.Sleep(20 * time.Millisecond) // let the call get in flight
+	_ = ca.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Errorf("pending call err = %v, want ErrConnClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call never failed")
+	}
+	close(block)
+}
+
+func TestPeerCloseReportsEOF(t *testing.T) {
+	a, b := net.Pipe()
+	errc := make(chan error, 1)
+	ca := NewConn("a", a, func(err error) { errc <- err }).Start()
+	cb := NewConn("b", b, nil).Start()
+	_ = cb.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("onClose err = %v, want io.EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onClose never fired")
+	}
+	_ = ca.Close()
+}
+
+// collector implements pylon.Subscriber.
+type collector struct {
+	id string
+	mu sync.Mutex
+	ev []pylon.Event
+}
+
+func (c *collector) ID() string { return c.id }
+func (c *collector) Deliver(ev pylon.Event) {
+	c.mu.Lock()
+	c.ev = append(c.ev, ev)
+	c.mu.Unlock()
+}
+func (c *collector) events() []pylon.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]pylon.Event(nil), c.ev...)
+}
+
+func TestPylonClientEndToEnd(t *testing.T) {
+	svc := newPylon(t)
+	serverConn, clientConn := pair(t)
+	ServePylon(serverConn, svc, nil)
+	cli := NewPylonClient(clientConn)
+
+	sub := &collector{id: "host-1"}
+	cli.RegisterHost(sub)
+	if err := cli.Subscribe("/t/1", "host-1"); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.WaitForSubscriber("/t/1", time.Second) {
+		t.Fatal("WaitForSubscriber timed out")
+	}
+	n, err := cli.Publish(pylon.Event{Topic: "/t/1", Ref: 42, Meta: map[string]string{"k": "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Publish fanout = %d, want 1", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs := sub.events()
+		if len(evs) == 1 {
+			if evs[0].Ref != 42 || evs[0].Meta["k"] != "v" || evs[0].Topic != "/t/1" {
+				t.Errorf("delivered event = %+v", evs[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("event never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Unsubscribe: fanout stops counting us.
+	if err := cli.Unsubscribe("/t/1", "host-1"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cli.Publish(pylon.Event{Topic: "/t/1"}); n != 0 {
+		t.Errorf("post-unsubscribe fanout = %d", n)
+	}
+	cli.RemoveHost("host-1")
+	if err := cli.Subscribe("/t/1", "host-1"); !errors.Is(err, pylon.ErrUnknownSubscriber) {
+		t.Errorf("subscribe after RemoveHost = %v, want ErrUnknownSubscriber", err)
+	}
+}
+
+func newPylon(t *testing.T) *pylon.Service {
+	t.Helper()
+	nodes := []*kvstore.Node{
+		kvstore.NewNode("a", "us"), kvstore.NewNode("b", "eu"), kvstore.NewNode("c", "ap"),
+	}
+	return pylon.MustNew(pylon.DefaultConfig(), kvstore.MustNewCluster(nodes, 3))
+}

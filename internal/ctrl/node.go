@@ -1,0 +1,42 @@
+package ctrl
+
+import "encoding/json"
+
+// Node admin method names, served by every brnode role.
+const (
+	MethodPing  = "node.ping"
+	MethodDrain = "node.drain"
+)
+
+type pingResult struct {
+	Role string `json:"role"`
+}
+
+// ServeNode registers the node admin handlers: ping answers with the
+// node's role (the launcher's readiness probe), drain triggers a graceful
+// drain (the same path as SIGTERM) via the supplied callback.
+func ServeNode(conn *Conn, role string, drain func()) {
+	conn.Handle(MethodPing, func(json.RawMessage) (any, error) {
+		return pingResult{Role: role}, nil
+	})
+	conn.Handle(MethodDrain, func(json.RawMessage) (any, error) {
+		if drain != nil {
+			drain()
+		}
+		return nil, nil
+	})
+}
+
+// Ping round-trips a node.ping, returning the remote role.
+func Ping(conn *Conn) (string, error) {
+	var res pingResult
+	if err := conn.Call(MethodPing, nil, &res); err != nil {
+		return "", err
+	}
+	return res.Role, nil
+}
+
+// Drain asks the remote node to drain gracefully.
+func Drain(conn *Conn) error {
+	return conn.Call(MethodDrain, nil, nil)
+}

@@ -8,6 +8,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -20,11 +21,21 @@ import (
 	"bladerunner/internal/sim"
 	"bladerunner/internal/socialgraph"
 	"bladerunner/internal/trace"
-	"bladerunner/internal/was"
 )
 
 // ErrNotConnected is returned when subscribing while disconnected.
 var ErrNotConnected = errors.New("device: not connected")
+
+// Backend is the WAS surface a device consumes: initial reads, mutations,
+// and the shed-then-resync point queries. *was.Server satisfies it
+// directly (in-process cluster); the multi-process deployment uses a
+// control-protocol client (internal/ctrl), so a device is oblivious to
+// whether the WAS is a function call or a socket away.
+type Backend interface {
+	QueryIn(region string, viewer socialgraph.UserID, expr string) ([]byte, error)
+	MutateIn(region string, viewer socialgraph.UserID, expr string) ([]byte, error)
+	PointQueryIn(region string, viewer socialgraph.UserID, expr string) ([]byte, error)
+}
 
 // Config parameterizes a Device.
 type Config struct {
@@ -62,7 +73,7 @@ type Config struct {
 type Device struct {
 	cfg     Config
 	dialer  edge.Dialer
-	was     *was.Server
+	was     Backend
 	sched   sim.Scheduler
 	backoff *faults.Backoff
 
@@ -97,6 +108,10 @@ type Device struct {
 	// durable-log cursor (clamped to the applied seq) instead of a WAS
 	// point query — the log-backed recovery path.
 	CursorResumes metrics.Counter
+	// PeerCloses counts sessions the *edge* hung up cleanly (HandleClose
+	// delivered io.EOF — e.g. a draining POP) as opposed to local closes
+	// or transport failures. The reconnect path is the same either way.
+	PeerCloses metrics.Counter
 }
 
 // Stream is one application-level subscription held by the device. Its
@@ -141,8 +156,9 @@ type Stream struct {
 }
 
 // New builds a device. dialer reaches POP targets; wasrv serves the initial
-// queries and mutations ("HTTP" in production, a direct call here).
-func New(cfg Config, dialer edge.Dialer, wasrv *was.Server, sched sim.Scheduler) *Device {
+// queries and mutations ("HTTP" in production, a direct call in the
+// in-process cluster, a ctrl client in the multi-process deployment).
+func New(cfg Config, dialer edge.Dialer, wasrv Backend, sched sim.Scheduler) *Device {
 	if sched == nil {
 		sched = sim.RealClock{}
 	}
@@ -191,7 +207,10 @@ func (d *Device) Connect() error {
 		d.mu.Unlock()
 		return fmt.Errorf("device: dial %s: %w", pop, err)
 	}
-	cli := burst.NewClient(fmt.Sprintf("device-%d", d.cfg.User), rwc, func(error) {
+	cli := burst.NewClient(fmt.Sprintf("device-%d", d.cfg.User), rwc, func(err error) {
+		if errors.Is(err, io.EOF) {
+			d.PeerCloses.Inc()
+		}
 		d.onSessionLost()
 	})
 	d.mu.Lock()

@@ -83,7 +83,7 @@ func TestSlowDeviceNeverLosesFlowRecovered(t *testing.T) {
 // that will never come.
 func TestShedMarkerTriggersResync(t *testing.T) {
 	env := newDevEnv(t)
-	w := env.dev.was
+	w := env.was
 	w.RegisterQuery("snapshot", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
 		return "state-after-" + call.Args["since"], nil
 	})
@@ -144,7 +144,7 @@ func TestShedMarkerTriggersResync(t *testing.T) {
 // permanent gap). A fresh notice after everything settles starts anew.
 func TestResyncCoalescesInFlight(t *testing.T) {
 	env := newDevEnv(t)
-	w := env.dev.was
+	w := env.was
 	block := make(chan struct{})
 	w.RegisterQuery("snap", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
 		<-block

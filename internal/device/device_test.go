@@ -93,6 +93,7 @@ type devEnv struct {
 	popA *fakePOP
 	popB *fakePOP
 	dev  *Device
+	was  *was.Server
 }
 
 func newDevEnv(t *testing.T) *devEnv {
@@ -101,13 +102,14 @@ func newDevEnv(t *testing.T) *devEnv {
 	a, b := &fakePOP{name: "pop-a"}, &fakePOP{name: "pop-b"}
 	n.Register("pop-a", a.accept)
 	n.Register("pop-b", b.accept)
+	w := newWAS(t)
 	d := New(Config{
 		User:           7,
 		POPs:           []string{"pop-a", "pop-b"},
 		ReconnectDelay: 5 * time.Millisecond,
-	}, n, newWAS(t), nil)
+	}, n, w, nil)
 	t.Cleanup(d.Close)
-	return &devEnv{net: n, popA: a, popB: b, dev: d}
+	return &devEnv{net: n, popA: a, popB: b, dev: d, was: w}
 }
 
 func TestSubscribeRequiresConnection(t *testing.T) {
@@ -266,7 +268,7 @@ func TestServerTerminationClosesStream(t *testing.T) {
 
 func TestQueryAndMutateHitWAS(t *testing.T) {
 	env := newDevEnv(t)
-	w := env.dev.was
+	w := env.was
 	w.RegisterQuery("ping", func(ctx *was.Ctx, call was.FieldCall) (any, error) {
 		return "pong", nil
 	})
@@ -319,7 +321,7 @@ func TestCloseIsFinal(t *testing.T) {
 
 func TestStartPresenceReportsPeriodically(t *testing.T) {
 	env := newDevEnv(t)
-	w := env.dev.was
+	w := env.was
 	var mu sync.Mutex
 	reports := 0
 	w.RegisterMutation("reportActive", func(ctx *was.Ctx, call was.FieldCall) (any, error) {

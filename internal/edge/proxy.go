@@ -135,9 +135,11 @@ func (p *Proxy) upstreamFor(target string) (*upstream, error) {
 	}
 	u := &upstream{target: target}
 	u.client = burst.NewClient(fmt.Sprintf("%s->%s", p.name, target), rwc, func(error) {
-		// Upstream session died: drop it from the pool so the next
-		// subscribe re-dials. Individual relays learn via their
-		// stream channels and repair themselves.
+		// Upstream session died — clean peer close (io.EOF, e.g. a
+		// draining BRASS) and transport failure take the same path on
+		// purpose: drop it from the pool so the next subscribe
+		// re-dials. Individual relays learn via their stream channels
+		// and repair themselves.
 		p.mu.Lock()
 		if p.upstreams[target] == u {
 			delete(p.upstreams, target)

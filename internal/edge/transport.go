@@ -1,76 +1,13 @@
 package edge
 
 import (
-	"fmt"
 	"io"
 	"math/rand"
-	"net"
 	"sync"
 	"time"
 
 	"bladerunner/internal/sim"
 )
-
-// TCPNetwork is a Dialer backed by real TCP loopback sockets, proving the
-// BURST stack runs over genuine network transports, not just in-process
-// pipes. Targets Serve on an ephemeral port; Dial connects to it.
-type TCPNetwork struct {
-	mu      sync.Mutex
-	targets map[string]string // target → host:port
-	stops   []func()
-}
-
-// NewTCPNetwork returns an empty TCP network.
-func NewTCPNetwork() *TCPNetwork {
-	return &TCPNetwork{targets: make(map[string]string)}
-}
-
-// Serve starts a listener for target on 127.0.0.1 and invokes accept for
-// every inbound connection. It returns the bound address.
-func (n *TCPNetwork) Serve(target string, accept func(io.ReadWriteCloser)) (string, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", fmt.Errorf("edge: listen for %s: %w", target, err)
-	}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			accept(conn)
-		}
-	}()
-	n.mu.Lock()
-	n.targets[target] = ln.Addr().String()
-	n.stops = append(n.stops, func() { _ = ln.Close() })
-	n.mu.Unlock()
-	return ln.Addr().String(), nil
-}
-
-// Dial implements Dialer over TCP.
-func (n *TCPNetwork) Dial(target string) (io.ReadWriteCloser, error) {
-	n.mu.Lock()
-	addr, ok := n.targets[target]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, target)
-	}
-	return net.DialTimeout("tcp", addr, 5*time.Second)
-}
-
-// Close stops all listeners.
-func (n *TCPNetwork) Close() {
-	n.mu.Lock()
-	stops := n.stops
-	n.stops = nil
-	n.mu.Unlock()
-	for _, stop := range stops {
-		stop()
-	}
-}
-
-var _ Dialer = (*TCPNetwork)(nil)
 
 // LastMileConn wraps a transport with the characteristics of a constrained
 // mobile link (§1 challenge 3: 2G infrastructure, metered bandwidth): a
